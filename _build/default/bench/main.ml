@@ -1,0 +1,269 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper at full scale
+   (8x8 torus / mesh, 4032 connections) and prints them in the paper's
+   layout — this is the reproduction harness proper.
+
+   Part 2 runs Bechamel micro-benchmarks, one per experiment, on reduced
+   (4x4) instances so each table/figure has a timed kernel, plus kernels
+   for the core data structures. *)
+
+let hr title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let seed = 42
+let double_sample = 300 (* of 2016 double-node pairs; keeps the run minutes-scale *)
+
+let part1 () =
+  hr "FIGURE 9 (a): spare bandwidth vs load, single backup, 8x8 torus";
+  Eval.Report.print
+    (Eval.Spare_bw.report Eval.Setup.Torus8 ~backups:1
+       (Eval.Spare_bw.run ~seed Eval.Setup.Torus8 ~backups:1));
+  hr "FIGURE 9 (b): spare bandwidth vs load, double backups, 8x8 torus";
+  Eval.Report.print
+    (Eval.Spare_bw.report Eval.Setup.Torus8 ~backups:2
+       (Eval.Spare_bw.run ~seed Eval.Setup.Torus8 ~backups:2));
+  hr "FIGURE 9 (c): spare bandwidth vs load, single backup, 8x8 mesh";
+  Eval.Report.print
+    (Eval.Spare_bw.report Eval.Setup.Mesh8 ~backups:1
+       (Eval.Spare_bw.run ~seed Eval.Setup.Mesh8 ~backups:1));
+
+  hr "TABLE 1 (a): R_fast, same mux degrees, single backup, 8x8 torus";
+  Eval.Report.print
+    (Eval.Rfast.table_same_degree ~seed ~double_sample Eval.Setup.Torus8
+       ~backups:1);
+  hr "TABLE 1 (b): R_fast, same mux degrees, double backups, 8x8 torus";
+  Eval.Report.print
+    (Eval.Rfast.table_same_degree ~seed ~double_sample Eval.Setup.Torus8
+       ~backups:2);
+  hr "TABLE 1 (c): R_fast, same mux degrees, single backup, 8x8 mesh";
+  Eval.Report.print
+    (Eval.Rfast.table_same_degree ~seed ~double_sample Eval.Setup.Mesh8
+       ~backups:1);
+
+  hr "TABLE 2 (a): R_fast, mixed mux degrees, single backup, 8x8 torus";
+  Eval.Report.print
+    (Eval.Rfast.table_mixed_degrees ~seed ~double_sample Eval.Setup.Torus8
+       ~backups:1);
+  hr "TABLE 2 (b): R_fast, mixed mux degrees, double backups, 8x8 torus";
+  Eval.Report.print
+    (Eval.Rfast.table_mixed_degrees ~seed ~double_sample Eval.Setup.Torus8
+       ~backups:2);
+  hr "TABLE 2 (c): R_fast, mixed mux degrees, single backup, 8x8 mesh";
+  Eval.Report.print
+    (Eval.Rfast.table_mixed_degrees ~seed ~double_sample Eval.Setup.Mesh8
+       ~backups:1);
+
+  hr "TABLE 3 (a): R_fast, brute-force multiplexing, 8x8 torus";
+  Eval.Report.print
+    (Eval.Rfast.table_brute_force ~seed ~double_sample Eval.Setup.Torus8);
+  hr "TABLE 3 (b): R_fast, brute-force multiplexing, 8x8 mesh";
+  Eval.Report.print
+    (Eval.Rfast.table_brute_force ~seed ~double_sample Eval.Setup.Mesh8);
+
+  hr "SECTION 5.3: recovery delay vs bound (event-driven BCP, 8x8 torus)";
+  let est = Eval.Setup.build ~seed ~backups:1 ~mux_degree:3 Eval.Setup.Torus8 in
+  Printf.printf "(established %d, rejected %d, load %.2f%%, spare %.2f%%)\n"
+    est.Eval.Setup.established est.Eval.Setup.rejected est.Eval.Setup.load
+    est.Eval.Setup.spare;
+  Eval.Report.print
+    (Eval.Recovery_delay.report
+       [ Eval.Recovery_delay.measure ~seed ~scenario_count:12 est.Eval.Setup.ns ]);
+
+  hr "SECTION 4.2: channel-switching schemes 1/2/3";
+  Eval.Report.print
+    (Eval.Recovery_delay.compare_schemes ~seed ~scenario_count:6
+       est.Eval.Setup.ns);
+  Eval.Report.print (Eval.Ablations.scheme_coverage ~seed est.Eval.Setup.ns);
+
+  hr "SECTION 4.3: priority-based activation";
+  Eval.Report.print
+    (Eval.Ablations.priority_activation ~seed ~double_sample Eval.Setup.Torus8);
+
+  hr "SECTION 7.1/7.4: hot-spot (inhomogeneous) traffic";
+  Eval.Report.print (Eval.Ablations.inhomogeneous ~seed Eval.Setup.Torus8);
+
+  hr "FIGURE 8: message loss during failure recovery (data plane)";
+  Eval.Report.print (Eval.Message_loss.report (Eval.Message_loss.run ~seed Eval.Setup.Torus8));
+
+  hr "EXTENSION: spare-aware backup routing [HAN97b]";
+  Eval.Report.print (Eval.Ablations.backup_routing ~seed Eval.Setup.Torus8);
+
+  hr "EXTENSION: R_fast under k simultaneous link failures";
+  Eval.Report.print (Eval.Multi_failure.sweep ~seed Eval.Setup.Torus8);
+
+  hr "SECTION 8: BCP vs reactive re-establishment [BAN93]";
+  Eval.Report.print
+    (Eval.Baselines.report Eval.Setup.Torus8
+       (Eval.Baselines.compare ~seed ~double_sample Eval.Setup.Torus8));
+
+  hr "SECTION 7.1: sensitivity to traffic and topology + S_max audit";
+  Eval.Report.print (Eval.Sensitivity.traffic ~seed Eval.Setup.Torus8);
+  Eval.Report.print (Eval.Sensitivity.topology ~seed ());
+  Eval.Report.print
+    (Eval.Sensitivity.s_max_audit est.Eval.Setup.ns Rcc.Transport.default_params);
+
+  hr "FIGURE 3: Markov reliability models vs combinatorial P_r";
+  Eval.Report.print
+    (Eval.Reliability_cmp.report
+       (Eval.Reliability_cmp.compute ~hops:[ 1; 2; 4; 7; 10; 14 ] ()))
+
+(* ------------- Part 2: Bechamel micro-benchmarks ------------- *)
+
+open Bechamel
+open Toolkit
+
+let small_net () = Net.Builders.torus ~rows:4 ~cols:4 ~capacity:50.0
+
+let establish_small backups mux_degree =
+  let topo = small_net () in
+  let ns = Bcp.Netstate.create topo () in
+  let rng = Sim.Prng.create seed in
+  let requests =
+    Workload.Generator.shuffled rng
+      (Workload.Generator.all_pairs ~backups ~mux_degree topo)
+  in
+  ignore (Eval.Setup.establish_all ns requests);
+  ns
+
+let bench_fig9_kernel =
+  Test.make ~name:"fig9-kernel (4x4 torus establishment, mux=3)"
+    (Staged.stage (fun () -> ignore (establish_small 1 3)))
+
+let bench_table1_kernel =
+  let ns = establish_small 1 3 in
+  let topo = Bcp.Netstate.topology ns in
+  let scenarios = Failures.Scenario.all_single_links topo in
+  Test.make ~name:"table1-kernel (single-link R_fast sweep)"
+    (Staged.stage (fun () ->
+         List.iter
+           (fun (sc : Failures.Scenario.t) ->
+             ignore
+               (Bcp.Recovery.simulate ns ~failed:sc.Failures.Scenario.components))
+           scenarios))
+
+let bench_table2_kernel =
+  let topo = small_net () in
+  let ns = Bcp.Netstate.create topo () in
+  let rng = Sim.Prng.create seed in
+  let requests =
+    Workload.Generator.with_mux_mix ~degrees:[ 1; 3; 5; 6 ]
+      (Workload.Generator.shuffled rng (Workload.Generator.all_pairs topo))
+  in
+  ignore (Eval.Setup.establish_all ns requests);
+  let scenarios = Failures.Scenario.all_single_nodes topo in
+  Test.make ~name:"table2-kernel (mixed-degree single-node R_fast)"
+    (Staged.stage (fun () ->
+         List.iter
+           (fun (sc : Failures.Scenario.t) ->
+             ignore
+               (Bcp.Recovery.simulate ns ~failed:sc.Failures.Scenario.components))
+           scenarios))
+
+let bench_table3_kernel =
+  let topo = small_net () in
+  let ns = Bcp.Netstate.create ~policy:(Bcp.Netstate.Brute_force 5.0) topo () in
+  let rng = Sim.Prng.create seed in
+  ignore
+    (Eval.Setup.establish_all ns
+       (Workload.Generator.shuffled rng (Workload.Generator.all_pairs topo)));
+  let scenarios = Failures.Scenario.all_single_links topo in
+  Test.make ~name:"table3-kernel (brute-force R_fast sweep)"
+    (Staged.stage (fun () ->
+         List.iter
+           (fun (sc : Failures.Scenario.t) ->
+             ignore
+               (Bcp.Recovery.simulate ns ~failed:sc.Failures.Scenario.components))
+           scenarios))
+
+let bench_delay_kernel =
+  let ns = establish_small 1 3 in
+  Test.make ~name:"delay-kernel (event-driven recovery, 1 link)"
+    (Staged.stage (fun () ->
+         let sim = Bcp.Simnet.create ns in
+         Bcp.Simnet.fail_link sim ~at:0.01 0;
+         Bcp.Simnet.run ~until:0.1 sim;
+         Bcp.Simnet.finalize sim))
+
+let bench_markov_kernel =
+  Test.make ~name:"markov-kernel (Fig 3 R(t) + MTTF)"
+    (Staged.stage (fun () ->
+         ignore (Eval.Reliability_cmp.compute ~hops:[ 1; 4; 10 ] ())))
+
+let bench_mux_register =
+  let topo = small_net () in
+  let mux = Bcp.Mux.create topo ~lambda:1e-4 in
+  let mk i =
+    let comps =
+      Array.init 9 (fun k -> (2 * ((i + (k * 7)) mod 200)) + (k land 1))
+    in
+    Array.sort Int.compare comps;
+    {
+      Bcp.Mux.backup = i;
+      conn = i;
+      serial = 1;
+      nu = 3e-4;
+      bw = 1.0;
+      primary_components = comps;
+    }
+  in
+  for i = 0 to 199 do
+    Bcp.Mux.register mux ~link:0 (mk i)
+  done;
+  Test.make ~name:"mux required_with (200 backups on link)"
+    (Staged.stage (fun () -> ignore (Bcp.Mux.required_with mux ~link:0 (mk 9999))))
+
+let bench_dijkstra =
+  let topo = Net.Builders.torus ~rows:8 ~cols:8 ~capacity:200.0 in
+  Test.make ~name:"shortest-path (8x8 torus, corner to corner)"
+    (Staged.stage (fun () ->
+         ignore (Routing.Shortest.shortest_path topo ~src:0 ~dst:63)))
+
+let bench_engine =
+  Test.make ~name:"event engine (10k timers)"
+    (Staged.stage (fun () ->
+         let e = Sim.Engine.create () in
+         for i = 1 to 10_000 do
+           ignore (Sim.Engine.schedule e ~at:(float_of_int i) (fun () -> ()))
+         done;
+         Sim.Engine.run e))
+
+let benchmarks =
+  [
+    bench_fig9_kernel;
+    bench_table1_kernel;
+    bench_table2_kernel;
+    bench_table3_kernel;
+    bench_delay_kernel;
+    bench_markov_kernel;
+    bench_mux_register;
+    bench_dijkstra;
+    bench_engine;
+  ]
+
+let run_bechamel () =
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:(Some 100) () in
+  let instances = Instance.[ monotonic_clock ] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let results =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:true
+             ~predictors:[| Measure.run |])
+          Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "  %-55s %14.1f ns/run\n%!" name est
+          | _ -> Printf.printf "  %-55s (no estimate)\n%!" name)
+        results)
+    benchmarks
+
+let () =
+  let t0 = Unix.gettimeofday ()in
+  part1 ();
+  hr "MICRO-BENCHMARKS (Bechamel, reduced-scale kernels)";
+  run_bechamel ();
+  Printf.printf "\ntotal wall time: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,253 @@
+(* bcp_sim: regenerate every table and figure of Han & Shin, SIGCOMM '97,
+   plus the ablations documented in DESIGN.md. *)
+
+open Cmdliner
+
+let network_conv =
+  let parse = function
+    | "torus" -> Ok Eval.Setup.Torus8
+    | "mesh" -> Ok Eval.Setup.Mesh8
+    | s -> Error (`Msg (Printf.sprintf "unknown network %S (torus|mesh)" s))
+  in
+  let print ppf n =
+    Format.pp_print_string ppf
+      (match n with Eval.Setup.Torus8 -> "torus" | Eval.Setup.Mesh8 -> "mesh")
+  in
+  Arg.conv (parse, print)
+
+let network_arg =
+  Arg.(
+    value
+    & opt network_conv Eval.Setup.Torus8
+    & info [ "network"; "n" ] ~docv:"NET" ~doc:"Network: torus or mesh.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let backups_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "backups"; "b" ] ~docv:"N" ~doc:"Backup channels per connection.")
+
+let double_sample_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "double-sample" ] ~docv:"N"
+        ~doc:"Sample N double-node scenarios instead of all pairs.")
+
+let csv_arg =
+  Arg.(
+    value & flag
+    & info [ "csv" ] ~doc:"Emit the table as CSV instead of aligned text.")
+
+let emit ~csv report =
+  if csv then print_string (Eval.Report.to_csv report)
+  else Eval.Report.print report
+
+let scenario_count_arg =
+  Arg.(
+    value & opt int 16
+    & info [ "scenarios" ] ~docv:"N" ~doc:"Failure scenarios to simulate.")
+
+let run_fig9 ?(csv = false) network backups seed =
+  let series = Eval.Spare_bw.run ~seed network ~backups in
+  emit ~csv (Eval.Spare_bw.report network ~backups series)
+
+let fig9_cmd =
+  let doc = "Figure 9: spare bandwidth vs network load." in
+  Cmd.v
+    (Cmd.info "fig9" ~doc)
+    Term.(
+      const (fun csv n b s -> run_fig9 ~csv n b s)
+      $ csv_arg $ network_arg $ backups_arg $ seed_arg)
+
+let run_table1 ?(csv = false) network backups seed double_sample =
+  emit ~csv (Eval.Rfast.table_same_degree ~seed ?double_sample network ~backups)
+
+let table1_cmd =
+  let doc = "Table 1: R_fast with uniform multiplexing degrees." in
+  Cmd.v
+    (Cmd.info "table1" ~doc)
+    Term.(
+      const (fun csv n b s d -> run_table1 ~csv n b s d)
+      $ csv_arg $ network_arg $ backups_arg $ seed_arg $ double_sample_arg)
+
+let run_table2 ?(csv = false) network backups seed double_sample =
+  emit ~csv (Eval.Rfast.table_mixed_degrees ~seed ?double_sample network ~backups)
+
+let table2_cmd =
+  let doc = "Table 2: R_fast with mixed multiplexing degrees." in
+  Cmd.v
+    (Cmd.info "table2" ~doc)
+    Term.(
+      const (fun csv n b s d -> run_table2 ~csv n b s d)
+      $ csv_arg $ network_arg $ backups_arg $ seed_arg $ double_sample_arg)
+
+let run_table3 ?(csv = false) network seed double_sample =
+  emit ~csv (Eval.Rfast.table_brute_force ~seed ?double_sample network)
+
+let table3_cmd =
+  let doc = "Table 3: R_fast with brute-force multiplexing." in
+  Cmd.v
+    (Cmd.info "table3" ~doc)
+    Term.(
+      const (fun csv n s d -> run_table3 ~csv n s d)
+      $ csv_arg $ network_arg $ seed_arg $ double_sample_arg)
+
+let run_delay network backups seed scenarios =
+  let est = Eval.Setup.build ~seed ~backups ~mux_degree:3 network in
+  Printf.printf "established %d connections (rejected %d), spare %.2f%%\n\n"
+    est.Eval.Setup.established est.Eval.Setup.rejected est.Eval.Setup.spare;
+  let stats =
+    Eval.Recovery_delay.measure ~seed ~scenario_count:scenarios est.Eval.Setup.ns
+  in
+  Eval.Report.print (Eval.Recovery_delay.report [ stats ])
+
+let delay_cmd =
+  let doc = "Section 5.3: measured recovery delay vs the analytic bound." in
+  Cmd.v
+    (Cmd.info "delay" ~doc)
+    Term.(
+      const run_delay $ network_arg $ backups_arg $ seed_arg
+      $ scenario_count_arg)
+
+let run_schemes network seed scenarios =
+  let est = Eval.Setup.build ~seed ~backups:1 ~mux_degree:3 network in
+  Eval.Report.print
+    (Eval.Recovery_delay.compare_schemes ~seed ~scenario_count:scenarios
+       est.Eval.Setup.ns);
+  Eval.Report.print (Eval.Ablations.scheme_coverage ~seed est.Eval.Setup.ns)
+
+let schemes_cmd =
+  let doc = "Section 4.2: compare channel-switching Schemes 1, 2 and 3." in
+  Cmd.v
+    (Cmd.info "schemes" ~doc)
+    Term.(const run_schemes $ network_arg $ seed_arg $ scenario_count_arg)
+
+let run_priority network seed =
+  Eval.Report.print (Eval.Ablations.priority_activation ~seed network)
+
+let priority_cmd =
+  let doc = "Section 4.3: priority-based activation under contention." in
+  Cmd.v (Cmd.info "priority" ~doc) Term.(const run_priority $ network_arg $ seed_arg)
+
+let run_hotspot network seed =
+  Eval.Report.print (Eval.Ablations.inhomogeneous ~seed network)
+
+let hotspot_cmd =
+  let doc = "Section 7.1/7.4: hot-spot traffic, proposed vs brute-force." in
+  Cmd.v (Cmd.info "hotspot" ~doc) Term.(const run_hotspot $ network_arg $ seed_arg)
+
+let run_routing network seed =
+  Eval.Report.print (Eval.Ablations.backup_routing ~seed network)
+
+let routing_cmd =
+  let doc = "Extension: spare-increment-minimising backup routing [HAN97b]." in
+  Cmd.v (Cmd.info "routing" ~doc) Term.(const run_routing $ network_arg $ seed_arg)
+
+let run_fig8 network seed =
+  Eval.Report.print (Eval.Message_loss.report (Eval.Message_loss.run ~seed network))
+
+let fig8_cmd =
+  let doc = "Figure 8: message loss during failure recovery (data plane)." in
+  Cmd.v (Cmd.info "fig8" ~doc) Term.(const run_fig8 $ network_arg $ seed_arg)
+
+let run_sensitivity network seed =
+  Eval.Report.print (Eval.Sensitivity.traffic ~seed network);
+  Eval.Report.print (Eval.Sensitivity.topology ~seed ());
+  let est = Eval.Setup.build ~seed ~backups:1 ~mux_degree:3 network in
+  Eval.Report.print
+    (Eval.Sensitivity.s_max_audit est.Eval.Setup.ns Rcc.Transport.default_params)
+
+let sensitivity_cmd =
+  let doc = "Section 7.1: traffic/topology sensitivity + S_max audit." in
+  Cmd.v
+    (Cmd.info "sensitivity" ~doc)
+    Term.(const run_sensitivity $ network_arg $ seed_arg)
+
+let run_baseline network seed double_sample =
+  let ds = Option.value ~default:300 double_sample in
+  Eval.Report.print
+    (Eval.Baselines.report network
+       (Eval.Baselines.compare ~seed ~double_sample:ds network))
+
+let baseline_cmd =
+  let doc = "Section 8: BCP vs reactive re-establishment [BAN93]." in
+  Cmd.v
+    (Cmd.info "baseline" ~doc)
+    Term.(const run_baseline $ network_arg $ seed_arg $ double_sample_arg)
+
+let run_multi network seed =
+  Eval.Report.print (Eval.Multi_failure.sweep ~seed network)
+
+let multi_cmd =
+  let doc = "Extension: R_fast under k simultaneous link failures." in
+  Cmd.v (Cmd.info "multi" ~doc) Term.(const run_multi $ network_arg $ seed_arg)
+
+let run_markov () =
+  let rows = Eval.Reliability_cmp.compute ~hops:[ 1; 2; 4; 7; 10; 14 ] () in
+  Eval.Report.print (Eval.Reliability_cmp.report rows)
+
+let markov_cmd =
+  let doc = "Figure 3: Markov reliability models vs the combinatorial P_r." in
+  Cmd.v (Cmd.info "markov" ~doc) Term.(const run_markov $ const ())
+
+let run_all seed double_sample =
+  let ds = match double_sample with None -> Some 300 | some -> some in
+  List.iter
+    (fun network ->
+      run_fig9 network 1 seed;
+      run_table1 network 1 seed ds;
+      (match network with
+      | Eval.Setup.Torus8 -> run_table1 network 2 seed ds
+      | Eval.Setup.Mesh8 -> ());
+      run_table2 network 1 seed ds;
+      (match network with
+      | Eval.Setup.Torus8 -> run_table2 network 2 seed ds
+      | Eval.Setup.Mesh8 -> ());
+      run_table3 network seed ds)
+    [ Eval.Setup.Torus8; Eval.Setup.Mesh8 ];
+  run_delay Eval.Setup.Torus8 1 seed 16;
+  run_schemes Eval.Setup.Torus8 seed 8;
+  run_priority Eval.Setup.Torus8 seed;
+  run_hotspot Eval.Setup.Torus8 seed;
+  run_routing Eval.Setup.Torus8 seed;
+  run_fig8 Eval.Setup.Torus8 seed;
+  run_sensitivity Eval.Setup.Torus8 seed;
+  run_baseline Eval.Setup.Torus8 seed double_sample;
+  run_multi Eval.Setup.Torus8 seed;
+  run_markov ()
+
+let all_cmd =
+  let doc = "Run the complete evaluation (every table and figure)." in
+  Cmd.v
+    (Cmd.info "all" ~doc)
+    Term.(const run_all $ seed_arg $ double_sample_arg)
+
+let () =
+  let doc =
+    "Reproduction of 'Fast Restoration of Real-Time Communication Service \
+     from Component Failures in Multi-hop Networks' (Han & Shin, SIGCOMM '97)"
+  in
+  let info = Cmd.info "bcp_sim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            fig9_cmd;
+            table1_cmd;
+            table2_cmd;
+            table3_cmd;
+            delay_cmd;
+            schemes_cmd;
+            priority_cmd;
+            hotspot_cmd;
+            routing_cmd;
+            fig8_cmd;
+            sensitivity_cmd;
+            baseline_cmd;
+            multi_cmd;
+            markov_cmd;
+            all_cmd;
+          ]))

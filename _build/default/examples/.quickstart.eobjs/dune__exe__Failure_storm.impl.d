@@ -1,0 +1,1 @@
+examples/failure_storm.ml: Bcp Failures Format List Net Sim Workload

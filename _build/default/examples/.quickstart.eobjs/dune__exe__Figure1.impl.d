@@ -1,0 +1,1 @@
+examples/figure1.ml: Array Bcp Format List Net Option Result Routing Rtchan String

@@ -1,0 +1,1 @@
+examples/negotiated_reliability.ml: Bcp Float Format List Net Rtchan Sim String Workload

@@ -1,0 +1,1 @@
+examples/negotiated_reliability.mli:

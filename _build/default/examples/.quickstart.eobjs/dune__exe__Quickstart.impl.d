@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bcp Format List Net Option Rtchan Sim

@@ -1,0 +1,1 @@
+examples/video_conference.ml: Bcp Format List Net Rtchan Sim Workload

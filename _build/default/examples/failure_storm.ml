@@ -1,0 +1,111 @@
+(* A failure storm: components crash and are repaired over a simulated
+   hour following Poisson processes, while the event-driven BCP daemons
+   keep reporting failures, activating backups, repairing channels through
+   the rejoin handshake, and tearing down what cannot be saved.
+
+   Run with:  dune exec examples/failure_storm.exe *)
+
+let printf = Format.printf
+
+let () =
+  let topo = Net.Builders.torus ~rows:6 ~cols:6 ~capacity:155.0 in
+  let ns = Bcp.Netstate.create topo () in
+
+  (* 300 one-Mbps connections with one backup each at mux degree 3. *)
+  let rng = Sim.Prng.create 7 in
+  let established = ref 0 in
+  List.iteri
+    (fun i (r : Workload.Generator.request) ->
+      let request =
+        {
+          Bcp.Establish.src = r.Workload.Generator.src;
+          dst = r.Workload.Generator.dst;
+          traffic = r.traffic;
+          qos = r.qos;
+          backups = 1;
+          mux_degree = 3;
+        }
+      in
+      match Bcp.Establish.establish ns ~conn_id:i request with
+      | Ok _ -> incr established
+      | Error _ -> ())
+    (Workload.Generator.random_pairs rng topo ~count:300);
+  printf "established %d connections; load %.2f%%, spare %.2f%%@." !established
+    (Bcp.Netstate.network_load ns)
+    (Bcp.Netstate.spare_fraction ns);
+
+  (* A harsh hour: with per-component MTBF of 25000 s, roughly twenty of
+     the ~160 components fail during the hour, each repaired after about
+     two minutes.  The rejoin timer (5 s) is deliberately shorter than the
+     repairs, so most broken channels are torn down, while components that
+     bounce quickly bring their channels back as backups. *)
+  let config =
+    {
+      Bcp.Protocol.default_config with
+      Bcp.Protocol.rejoin_timeout = 5.0;
+      rejoin_retry = 0.5;
+    }
+  in
+  let sim = Bcp.Simnet.create ~config ns in
+  let horizon = 3600.0 in
+  let events =
+    Failures.Process.generate
+      (Sim.Prng.create 99)
+      topo ~horizon ~mtbf:25_000.0 ~mttr:120.0
+  in
+  List.iter
+    (fun (e : Failures.Process.event) ->
+      match (e.Failures.Process.kind, e.Failures.Process.component) with
+      | `Fail, Net.Component.Link l -> Bcp.Simnet.fail_link sim ~at:e.Failures.Process.time l
+      | `Repair, Net.Component.Link l ->
+        Bcp.Simnet.repair_link sim ~at:e.Failures.Process.time l
+      | `Fail, Net.Component.Node v -> Bcp.Simnet.fail_node sim ~at:e.Failures.Process.time v
+      | `Repair, Net.Component.Node v ->
+        Bcp.Simnet.repair_node sim ~at:e.Failures.Process.time v)
+    events;
+  let fails =
+    List.length (List.filter (fun e -> e.Failures.Process.kind = `Fail) events)
+  in
+  printf "injecting %d failures (%d events total) over %.0f s...@." fails
+    (List.length events) horizon;
+
+  Bcp.Simnet.run ~until:(horizon +. 60.0) sim;
+  Bcp.Simnet.finalize sim;
+
+  (* Aggregate what happened. *)
+  let records = Bcp.Simnet.records sim in
+  let disruptions = Sim.Stats.Sample.create () in
+  let recovered = ref 0 and lost = ref 0 and excluded = ref 0 in
+  List.iter
+    (fun r ->
+      if r.Bcp.Simnet.excluded then incr excluded
+      else
+        match (r.Bcp.Simnet.resumed_at, r.Bcp.Simnet.recovered_serial) with
+        | Some resumed, Some _ ->
+          incr recovered;
+          Sim.Stats.Sample.add disruptions (resumed -. r.Bcp.Simnet.failure_time)
+        | _ -> incr lost)
+    records;
+  printf "@.connections whose primary was hit: %d@." (List.length records);
+  printf "  fast-recovered on a backup: %d@." !recovered;
+  printf "  lost (needed re-establishment): %d@." !lost;
+  printf "  end node crashed (unrecoverable by design): %d@." !excluded;
+  if Sim.Stats.Sample.count disruptions > 0 then
+    printf
+      "service disruption: mean %.3f ms, median %.3f ms, p99 %.3f ms, max \
+       %.3f ms@."
+      (1000.0 *. Sim.Stats.Sample.mean disruptions)
+      (1000.0 *. Sim.Stats.Sample.median disruptions)
+      (1000.0 *. Sim.Stats.Sample.percentile disruptions 99.0)
+      (1000.0 *. Sim.Stats.Sample.max disruptions);
+
+  let trace = Bcp.Simnet.trace sim in
+  let count tag = List.length (Sim.Trace.find_all trace ~tag) in
+  printf "@.protocol activity:@.";
+  printf "  RCC messages sent:        %d@." (Bcp.Simnet.rcc_messages_sent sim);
+  printf "  control msgs delivered:   %d@."
+    (Bcp.Simnet.control_messages_delivered sim);
+  printf "  channel repairs (rejoin): %d@." (count "rejoin");
+  printf "  soft-state teardowns:     %d@." (count "expire");
+  printf "  closures:                 %d@." (count "closure");
+  printf "  multiplexing failures:    %d@." (count "mux-fail")

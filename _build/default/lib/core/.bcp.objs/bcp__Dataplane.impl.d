@@ -1,0 +1,1 @@
+lib/core/dataplane.ml: Array Dconn Hashtbl Int List Net Netstate Option Printf Protocol Rtchan Sim Simnet

@@ -1,0 +1,1 @@
+lib/core/dataplane.mli: Rtchan Sim Simnet

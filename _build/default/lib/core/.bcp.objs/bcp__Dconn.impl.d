@@ -1,0 +1,1 @@
+lib/core/dconn.ml: Float Format List Net Rtchan

@@ -1,0 +1,1 @@
+lib/core/dconn.mli: Format Net Rtchan

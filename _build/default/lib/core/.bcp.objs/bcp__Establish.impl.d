@@ -1,0 +1,1 @@
+lib/core/establish.ml: Dconn Float Format Hashtbl List Mux Net Netstate Option Reliability Routing Rtchan

@@ -1,0 +1,1 @@
+lib/core/establish.mli: Dconn Format Net Netstate Rtchan Sim

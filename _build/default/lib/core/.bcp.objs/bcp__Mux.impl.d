@@ -1,0 +1,1 @@
+lib/core/mux.ml: Array Float Hashtbl Int List Net Printf Reliability Set

@@ -1,0 +1,1 @@
+lib/core/netstate.ml: Array Dconn Float Hashtbl List Mux Net Option Printf Rtchan

@@ -1,0 +1,1 @@
+lib/core/netstate.mli: Dconn Mux Net Rtchan

@@ -1,0 +1,1 @@
+lib/core/reconfig.ml: Dconn Establish Float Int List Mux Net Netstate Recovery Rtchan

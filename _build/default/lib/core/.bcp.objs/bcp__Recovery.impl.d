@@ -1,0 +1,1 @@
+lib/core/recovery.ml: Array Dconn Float Hashtbl Int List Net Netstate Option Sim

@@ -1,0 +1,1 @@
+lib/core/simnet.ml: Array Dconn Failures Float Hashtbl Int List Net Netstate Option Protocol Rcc Rtchan Sim

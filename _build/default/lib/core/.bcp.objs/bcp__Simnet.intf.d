@@ -1,0 +1,1 @@
+lib/core/simnet.mli: Failures Netstate Protocol Sim

@@ -1,0 +1,352 @@
+type backup_routing = Min_hops | Min_spare_increment
+
+type request = {
+  src : int;
+  dst : int;
+  traffic : Rtchan.Traffic.t;
+  qos : Rtchan.Qos.t;
+  backups : int;
+  mux_degree : int;
+}
+
+type reject =
+  | Primary_rejected of Rtchan.Rnmp.reject_reason
+  | Backup_rejected of int
+  | Reliability_unreachable of float
+
+let pp_reject ppf = function
+  | Primary_rejected r ->
+    Format.fprintf ppf "primary rejected: %a" Rtchan.Rnmp.pp_reject r
+  | Backup_rejected serial -> Format.fprintf ppf "backup #%d rejected" serial
+  | Reliability_unreachable best ->
+    Format.fprintf ppf "required reliability unreachable (best %.9f)" best
+
+(* Route one backup disjoint from [avoid], admissible at threshold [nu],
+   optionally avoiding failed components.  [strategy] picks between the
+   paper's shortest-path search and the spare-increment-minimising
+   extension. *)
+let route_backup ?tie_break ?(strategy = Min_hops)
+    ?(avoid_components = Net.Component.Set.empty) ns ~conn ~bid ~serial ~nu
+    ~avoid =
+  let topo = Netstate.topology ns in
+  let src = conn.Dconn.src and dst = conn.Dconn.dst in
+  let candidate_info path =
+    ignore path;
+    {
+      Mux.backup = bid;
+      conn = conn.Dconn.id;
+      serial;
+      nu;
+      bw = Dconn.bandwidth conn;
+      primary_components =
+        Mux.encode_components
+          (Net.Path.components topo conn.Dconn.primary.Rtchan.Channel.path);
+    }
+  in
+  let info = candidate_info () in
+  (* The QoS hop budget is relative to the shortest path available *to
+     this channel*: disjoint from the connection's other channels and
+     clear of failed components (Section 7: "not longer than the
+     shortest-possible path by more than 2 hops").  Using the
+     unconstrained shortest here would make a third disjoint channel
+     infeasible for many torus node pairs the paper evaluates. *)
+  let disjoint_banned =
+    List.fold_left
+      (fun acc p -> Net.Component.Set.union acc (Net.Path.interior_components topo p))
+      avoid_components avoid
+  in
+  let feasibility_link_ok l =
+    not
+      (Net.Component.Set.mem
+         (Net.Component.Link l.Net.Topology.id)
+         disjoint_banned)
+  in
+  let feasibility_node_ok v =
+    not (Net.Component.Set.mem (Net.Component.Node v) disjoint_banned)
+  in
+  match
+    Routing.Shortest.shortest_hops ~link_ok:feasibility_link_ok
+      ~node_ok:feasibility_node_ok topo ~src ~dst
+  with
+  | None -> None
+  | Some shortest ->
+    let budget = Rtchan.Qos.max_hops conn.Dconn.qos ~shortest in
+    let link_ok l =
+      (not
+         (Net.Component.Set.mem
+            (Net.Component.Link l.Net.Topology.id)
+            avoid_components))
+      && Netstate.backup_admissible ns ~link:l.Net.Topology.id info
+    in
+    let node_ok v =
+      not (Net.Component.Set.mem (Net.Component.Node v) avoid_components)
+    in
+    (match strategy with
+    | Min_hops ->
+      let constraints = { Routing.Disjoint.link_ok; node_ok; max_hops = Some budget } in
+      Routing.Disjoint.disjoint_avoiding ~constraints ?tie_break topo ~src ~dst
+        ~avoid
+    | Min_spare_increment ->
+      (* Cost of a link = extra spare bandwidth this backup would force it
+         to reserve, with a small per-hop epsilon to prefer shorter paths
+         among equals.  Interior components of the connection's other
+         channels stay off limits. *)
+      let banned =
+        List.fold_left
+          (fun acc p ->
+            Net.Component.Set.union acc (Net.Path.interior_components topo p))
+          Net.Component.Set.empty avoid
+      in
+      let mux = Netstate.mux ns in
+      let epsilon_hop = 1e-6 *. Float.max 1.0 info.Mux.bw in
+      (* The per-link cost is constant during one search but O(backups on
+         link) to compute; memoise it, since Dijkstra may relax a link at
+         several hop levels. *)
+      let cache = Hashtbl.create 64 in
+      let cost l =
+        let id = l.Net.Topology.id in
+        match Hashtbl.find_opt cache id with
+        | Some c -> c
+        | None ->
+          let c =
+            if Net.Component.Set.mem (Net.Component.Link id) banned then None
+            else if not (link_ok l) then None
+            else begin
+              let increment =
+                match Netstate.policy ns with
+                | Netstate.Brute_force _ -> 0.0
+                | Netstate.Multiplexed ->
+                  Mux.required_with mux ~link:id info
+                  -. Mux.spare_requirement mux ~link:id
+              in
+              Some (Float.max 0.0 increment +. epsilon_hop)
+            end
+          in
+          Hashtbl.add cache id c;
+          c
+      in
+      let node_ok v =
+        node_ok v && not (Net.Component.Set.mem (Net.Component.Node v) banned)
+      in
+      Option.map fst
+        (Routing.Dijkstra.shortest_path ~cost ~node_ok ~max_hops:budget topo
+           ~src ~dst))
+
+(* Add a routed backup to the connection and the network tables. *)
+let attach ns conn backup =
+  conn.Dconn.backups <- conn.Dconn.backups @ [ backup ];
+  Netstate.register_backup ns conn backup
+
+let detach ns conn backup =
+  Netstate.unregister_backup ns conn backup;
+  conn.Dconn.backups <-
+    List.filter (fun b -> b.Dconn.serial <> backup.Dconn.serial) conn.Dconn.backups
+
+let establish ?tie_break ?backup_routing ns ~conn_id request =
+  if request.backups < 0 then invalid_arg "Establish.establish: negative backups";
+  if request.mux_degree < 0 then
+    invalid_arg "Establish.establish: negative mux degree";
+  let rnmp = Netstate.rnmp ns in
+  match
+    Rtchan.Rnmp.establish ?tie_break rnmp ~src:request.src ~dst:request.dst
+      ~traffic:request.traffic ~qos:request.qos
+  with
+  | Error r -> Error (Primary_rejected r)
+  | Ok primary ->
+    let conn =
+      {
+        Dconn.id = conn_id;
+        src = request.src;
+        dst = request.dst;
+        traffic = request.traffic;
+        qos = request.qos;
+        primary;
+        backups = [];
+        primary_alive = true;
+        target_backups = request.backups;
+      }
+    in
+    let nu =
+      Reliability.Combinatorial.nu_of_degree ~lambda:(Netstate.lambda ns)
+        request.mux_degree
+    in
+    let rec add_backups serial =
+      if serial > request.backups then Ok ()
+      else begin
+        let bid = Netstate.fresh_backup_id ns in
+        let avoid =
+          primary.Rtchan.Channel.path :: List.map (fun b -> b.Dconn.path) conn.Dconn.backups
+        in
+        match
+          route_backup ?tie_break ?strategy:backup_routing ns ~conn ~bid
+            ~serial ~nu ~avoid
+        with
+        | None -> Error (Backup_rejected serial)
+        | Some path ->
+          let b = { Dconn.bid; serial; path; nu; state = Dconn.Standby } in
+          attach ns conn b;
+          add_backups (serial + 1)
+      end
+    in
+    (match add_backups 1 with
+    | Ok () ->
+      Netstate.add_dconn ns conn;
+      Ok conn
+    | Error e ->
+      (* Roll back everything reserved for this connection. *)
+      List.iter (fun b -> Netstate.unregister_backup ns conn b) conn.Dconn.backups;
+      Rtchan.Rnmp.teardown rnmp primary.Rtchan.Channel.id;
+      Error e)
+
+let add_backup ?tie_break ?avoid_components ns conn ~mux_degree =
+  if mux_degree < 0 then invalid_arg "Establish.add_backup: negative mux degree";
+  let nu =
+    Reliability.Combinatorial.nu_of_degree ~lambda:(Netstate.lambda ns) mux_degree
+  in
+  let serial =
+    1 + List.fold_left (fun m b -> max m b.Dconn.serial) 0 conn.Dconn.backups
+  in
+  let bid = Netstate.fresh_backup_id ns in
+  let live_paths =
+    conn.Dconn.primary.Rtchan.Channel.path
+    :: List.filter_map
+         (fun b ->
+           match b.Dconn.state with
+           | Dconn.Standby | Dconn.Activated -> Some b.Dconn.path
+           | Dconn.Broken | Dconn.Closed -> None)
+         conn.Dconn.backups
+  in
+  match
+    route_backup ?tie_break ?avoid_components ns ~conn ~bid ~serial ~nu
+      ~avoid:live_paths
+  with
+  | None -> Error (Backup_rejected serial)
+  | Some path ->
+    let b = { Dconn.bid; serial; path; nu; state = Dconn.Standby } in
+    attach ns conn b;
+    Ok b
+
+let rec establish_offered ?tie_break ?backup_routing ns ~conn_id request =
+  match establish ?tie_break ?backup_routing ns ~conn_id request with
+  | Error e -> Error e
+  | Ok conn -> Ok (conn, achieved_pr ns conn)
+
+and achieved_pr ns conn =
+  let topo = Netstate.topology ns in
+  let lambda = Netstate.lambda ns in
+  let mux = Netstate.mux ns in
+  let c_primary =
+    Net.Component.Set.cardinal
+      (Net.Path.components topo conn.Dconn.primary.Rtchan.Channel.path)
+  in
+  let backups =
+    List.filter_map
+      (fun b ->
+        if b.Dconn.state <> Dconn.Standby then None
+        else begin
+          let c_b =
+            Net.Component.Set.cardinal (Net.Path.components topo b.Dconn.path)
+          in
+          let psi_sizes =
+            List.map
+              (fun link -> Mux.psi_size mux ~link ~backup:b.Dconn.bid)
+              (Net.Path.links b.Dconn.path)
+          in
+          let p_muxf =
+            Reliability.Combinatorial.p_muxf_bound ~nu:b.Dconn.nu ~psi_sizes
+          in
+          Some (c_b, p_muxf)
+        end)
+      conn.Dconn.backups
+  in
+  Reliability.Combinatorial.pr_multi_backup ~lambda ~c_primary ~backups
+
+let establish_with_reliability ?tie_break ?(max_backups = 3) ns ~conn_id ~src
+    ~dst ~traffic ~qos ~pr_required =
+  let lambda = Netstate.lambda ns in
+  let topo = Netstate.topology ns in
+  (* Candidate degrees: one class per possible shared-component count, at
+     most the longest path length in components (Section 3.4: "the number
+     of classes are not greater than the length of the longest possible
+     path in the network"). *)
+  let max_degree = (2 * Net.Topology.num_nodes topo) + 1 in
+  let rnmp = Netstate.rnmp ns in
+  match Rtchan.Rnmp.establish ?tie_break rnmp ~src ~dst ~traffic ~qos with
+  | Error r -> Error (Primary_rejected r)
+  | Ok primary ->
+    let conn =
+      {
+        Dconn.id = conn_id;
+        src;
+        dst;
+        traffic;
+        qos;
+        primary;
+        backups = [];
+        primary_alive = true;
+        target_backups = max_backups;
+      }
+    in
+    let rollback () =
+      List.iter (fun b -> Netstate.unregister_backup ns conn b) conn.Dconn.backups;
+      Rtchan.Rnmp.teardown rnmp primary.Rtchan.Channel.id
+    in
+    (* Try to attach one more backup: scan degrees from largest (cheapest)
+       to smallest, keeping the largest degree whose resulting P_r meets
+       the requirement; if none does, keep the smallest feasible degree
+       (maximum protection) and let the caller add another backup. *)
+    let try_add serial =
+      let rec scan alpha best_fallback =
+        if alpha < 1 then best_fallback
+        else begin
+          let nu = Reliability.Combinatorial.nu_of_degree ~lambda alpha in
+          let bid = Netstate.fresh_backup_id ns in
+          let avoid =
+            primary.Rtchan.Channel.path
+            :: List.map (fun b -> b.Dconn.path) conn.Dconn.backups
+          in
+          match route_backup ?tie_break ns ~conn ~bid ~serial ~nu ~avoid with
+          | None -> scan (alpha - 1) best_fallback
+          | Some path ->
+            let b = { Dconn.bid; serial; path; nu; state = Dconn.Standby } in
+            attach ns conn b;
+            let pr = achieved_pr ns conn in
+            if Reliability.Combinatorial.pr_requirement_met ~required:pr_required ~achieved:pr
+            then Some (b, pr, true)
+            else begin
+              detach ns conn b;
+              scan (alpha - 1) (Some (b, pr, false))
+            end
+        end
+      in
+      scan max_degree None
+    in
+    let rec grow serial =
+      if serial > max_backups then begin
+        let best = achieved_pr ns conn in
+        rollback ();
+        Error (Reliability_unreachable best)
+      end
+      else
+        match try_add serial with
+        | None ->
+          let best = achieved_pr ns conn in
+          rollback ();
+          Error (Reliability_unreachable best)
+        | Some (_, pr, true) ->
+          Netstate.add_dconn ns conn;
+          Ok (conn, pr)
+        | Some (b, _, false) ->
+          (* Keep the most protective feasible backup and try to close the
+             gap with another one. *)
+          attach ns conn b;
+          grow (serial + 1)
+    in
+    if
+      Reliability.Combinatorial.pr_requirement_met ~required:pr_required
+        ~achieved:(achieved_pr ns conn)
+    then begin
+      Netstate.add_dconn ns conn;
+      Ok (conn, achieved_pr ns conn)
+    end
+    else grow 1

@@ -1,0 +1,92 @@
+(** D-connection establishment (Sections 3.2–3.4).
+
+    Channels are routed by sequential shortest-path search: the primary
+    over a shortest admissible path, then each backup disjointly from the
+    primary and from earlier backups, every path within the QoS hop
+    budget.  Spare bandwidth for backups is admitted and reserved through
+    the multiplexing engine.
+
+    Two client interfaces are provided, mirroring Section 3.4:
+    {!establish} (the "loose" scheme: the client fixes the backup count
+    and multiplexing degree; the achieved P_r is reported back) and
+    {!establish_with_reliability} (the negotiated scheme: the client
+    states a required P_r; BCP picks the largest multiplexing degree —
+    and, if needed, extra backups — that satisfies it). *)
+
+(** How backup paths are selected among admissible routes. *)
+type backup_routing =
+  | Min_hops
+      (** the paper's sequential shortest-path search (default) *)
+  | Min_spare_increment
+      (** the [HAN97b] extension: minimise the additional spare bandwidth
+          the backup forces the network to reserve, within the same QoS
+          hop budget *)
+
+type request = {
+  src : int;
+  dst : int;
+  traffic : Rtchan.Traffic.t;
+  qos : Rtchan.Qos.t;
+  backups : int;  (** number of backup channels to establish *)
+  mux_degree : int;  (** α in ν = α·λ; 0 disables multiplexing *)
+}
+
+type reject =
+  | Primary_rejected of Rtchan.Rnmp.reject_reason
+  | Backup_rejected of int
+      (** serial of the backup that could not be routed/admitted *)
+  | Reliability_unreachable of float
+      (** best achievable P_r when the requirement cannot be met *)
+
+val pp_reject : Format.formatter -> reject -> unit
+
+val establish :
+  ?tie_break:Sim.Prng.t ->
+  ?backup_routing:backup_routing ->
+  Netstate.t ->
+  conn_id:int ->
+  request ->
+  (Dconn.t, reject) result
+(** All-or-nothing: on any rejection the network state is rolled back. *)
+
+val establish_offered :
+  ?tie_break:Sim.Prng.t ->
+  ?backup_routing:backup_routing ->
+  Netstate.t ->
+  conn_id:int ->
+  request ->
+  (Dconn.t * float, reject) result
+(** Section 3.4's first scheme ("the client-specified P_r requirement is
+    met loosely"): establish with the requested configuration and report
+    the resulting P_r back; the client may accept, or reject by calling
+    [Netstate.remove_dconn]. *)
+
+val establish_with_reliability :
+  ?tie_break:Sim.Prng.t ->
+  ?max_backups:int ->
+  Netstate.t ->
+  conn_id:int ->
+  src:int ->
+  dst:int ->
+  traffic:Rtchan.Traffic.t ->
+  qos:Rtchan.Qos.t ->
+  pr_required:float ->
+  (Dconn.t * float, reject) result
+(** Negotiated scheme; returns the connection and its achieved P_r.
+    [max_backups] defaults to 3. *)
+
+val achieved_pr : Netstate.t -> Dconn.t -> float
+(** Combinatorial P_r of an established connection from the live
+    multiplexing tables (uses the P_muxf upper bound, so this is a lower
+    bound on the true P_r). *)
+
+val add_backup :
+  ?tie_break:Sim.Prng.t ->
+  ?avoid_components:Net.Component.Set.t ->
+  Netstate.t ->
+  Dconn.t ->
+  mux_degree:int ->
+  (Dconn.backup, reject) result
+(** Route and register one more backup for an existing connection, steering
+    clear of [avoid_components] (used by resource reconfiguration after
+    failures, which must not route replacements over dead components). *)

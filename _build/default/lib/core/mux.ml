@@ -1,0 +1,176 @@
+type backup_info = {
+  backup : int;
+  conn : int;
+  serial : int;
+  nu : float;
+  bw : float;
+  primary_components : int array;
+}
+
+let encode_component = function
+  | Net.Component.Node v -> 2 * v
+  | Net.Component.Link l -> (2 * l) + 1
+
+let encode_components set =
+  let a =
+    Array.of_list (List.map encode_component (Net.Component.Set.elements set))
+  in
+  Array.sort Int.compare a;
+  a
+
+let shared_count a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i j acc =
+    if i >= la || j >= lb then acc
+    else if a.(i) = b.(j) then go (i + 1) (j + 1) (acc + 1)
+    else if a.(i) < b.(j) then go (i + 1) j acc
+    else go i (j + 1) acc
+  in
+  go 0 0 0
+
+module Iset = Set.Make (Int)
+
+type entry = {
+  info : backup_info;
+  mutable pi : Iset.t;  (* ids of non-multiplexable backups, ν_j ≤ ν_i *)
+  mutable pi_bw : float;  (* cached Σ bw over pi *)
+}
+
+type link_table = {
+  entries : (int, entry) Hashtbl.t; (* backup id -> entry *)
+  mutable requirement : float; (* cached spare requirement *)
+}
+
+type t = { tables : link_table array; lambda : float }
+
+let create topo ~lambda =
+  if lambda <= 0.0 || lambda >= 1.0 then
+    invalid_arg "Mux.create: lambda must be in (0, 1)";
+  {
+    tables =
+      Array.init (Net.Topology.num_links topo) (fun _ ->
+          { entries = Hashtbl.create 16; requirement = 0.0 });
+    lambda;
+  }
+
+let lambda t = t.lambda
+
+let table t link =
+  if link < 0 || link >= Array.length t.tables then
+    invalid_arg (Printf.sprintf "Mux: unknown link %d" link);
+  t.tables.(link)
+
+(* S(B_i, B_j) from the two primaries' component sets. *)
+let s_value t a b =
+  let c_i = Array.length a.primary_components
+  and c_j = Array.length b.primary_components in
+  let sc = shared_count a.primary_components b.primary_components in
+  Reliability.Combinatorial.s_activation ~lambda:t.lambda ~c_i ~c_j ~sc
+
+(* Two backups of the same connection protect the same primary: they are
+   never multiplexed together (both activate when the primary dies). *)
+let conflicts t ~of_:a ~against:b =
+  (* b belongs to Π(a) iff ν_b ≤ ν_a and (same conn or S ≥ ν_a). *)
+  b.nu <= a.nu && (a.conn = b.conn || s_value t a b >= a.nu)
+
+let contribution e = e.info.bw +. e.pi_bw
+
+let recompute_requirement tab =
+  let req = ref 0.0 in
+  Hashtbl.iter (fun _ e -> if contribution e > !req then req := contribution e) tab.entries;
+  tab.requirement <- !req
+
+let register t ~link info =
+  let tab = table t link in
+  if Hashtbl.mem tab.entries info.backup then
+    invalid_arg
+      (Printf.sprintf "Mux.register: backup %d already on link %d" info.backup
+         link);
+  let fresh = { info; pi = Iset.empty; pi_bw = 0.0 } in
+  Hashtbl.iter
+    (fun _ e ->
+      if conflicts t ~of_:info ~against:e.info then begin
+        fresh.pi <- Iset.add e.info.backup fresh.pi;
+        fresh.pi_bw <- fresh.pi_bw +. e.info.bw
+      end;
+      if conflicts t ~of_:e.info ~against:info then begin
+        e.pi <- Iset.add info.backup e.pi;
+        e.pi_bw <- e.pi_bw +. info.bw
+      end)
+    tab.entries;
+  Hashtbl.add tab.entries info.backup fresh;
+  recompute_requirement tab
+
+let unregister t ~link ~backup =
+  let tab = table t link in
+  match Hashtbl.find_opt tab.entries backup with
+  | None -> ()
+  | Some victim ->
+    Hashtbl.remove tab.entries backup;
+    Hashtbl.iter
+      (fun _ e ->
+        if Iset.mem backup e.pi then begin
+          e.pi <- Iset.remove backup e.pi;
+          e.pi_bw <- e.pi_bw -. victim.info.bw
+        end)
+      tab.entries;
+    recompute_requirement tab
+
+let spare_requirement t ~link = (table t link).requirement
+
+let required_with t ~link info =
+  let tab = table t link in
+  if Hashtbl.mem tab.entries info.backup then tab.requirement
+  else begin
+    let own = ref info.bw in
+    let req = ref tab.requirement in
+    Hashtbl.iter
+      (fun _ e ->
+        if conflicts t ~of_:info ~against:e.info then own := !own +. e.info.bw;
+        if conflicts t ~of_:e.info ~against:info then begin
+          let c = contribution e +. info.bw in
+          if c > !req then req := c
+        end)
+      tab.entries;
+    Float.max !own !req
+  end
+
+let on_link t ~link =
+  Hashtbl.fold (fun _ e acc -> e.info :: acc) (table t link).entries []
+
+let mem t ~link ~backup = Hashtbl.mem (table t link).entries backup
+
+let count_on t ~link = Hashtbl.length (table t link).entries
+
+let find_entry t ~link ~backup =
+  match Hashtbl.find_opt (table t link).entries backup with
+  | Some e -> e
+  | None ->
+    raise Not_found
+
+let pi_size t ~link ~backup = Iset.cardinal (find_entry t ~link ~backup).pi
+
+let psi_size t ~link ~backup =
+  let tab = table t link in
+  let e = find_entry t ~link ~backup in
+  Hashtbl.length tab.entries - Iset.cardinal e.pi - 1
+
+let psi_size_with t ~link info =
+  let tab = table t link in
+  let pi = ref 0 in
+  Hashtbl.iter
+    (fun _ e -> if conflicts t ~of_:info ~against:e.info then incr pi)
+    tab.entries;
+  Hashtbl.length tab.entries - !pi
+
+let conflict_set t ~link ~backup = Iset.elements (find_entry t ~link ~backup).pi
+
+let max_requirement_victims t ~link =
+  let tab = table t link in
+  let out = ref [] in
+  Hashtbl.iter
+    (fun id e ->
+      if Float.abs (contribution e -. tab.requirement) < 1e-9 then
+        out := id :: !out)
+    tab.entries;
+  List.sort Int.compare !out

@@ -1,0 +1,76 @@
+(** Backup multiplexing (Section 3.2): per-link sharing of spare bandwidth
+    among backups whose primaries are unlikely to fail simultaneously.
+
+    For every link ℓ and every backup [B_i] on it, the engine maintains
+    the non-multiplexable set Π(B_i, ℓ) — backups [B_j] with ν_j ≤ ν_i
+    whose simultaneous-activation probability [S(B_i, B_j)] is at least
+    ν_i.  The spare bandwidth to reserve at ℓ is
+
+      max over B_i on ℓ of  bw(B_i) + Σ_{B_j ∈ Π(B_i, ℓ)} bw(B_j),
+
+    and Ψ(B_i, ℓ) (the backups actually sharing with B_i, which drives
+    the P_muxf bound) is everything on ℓ outside Π(B_i, ℓ) ∪ {B_i}.
+
+    Updates are incremental: registering or removing one backup touches
+    only pairwise terms with that backup (the O(n) scheme of Section 6). *)
+
+type backup_info = {
+  backup : int;  (** backup channel id (unique network-wide) *)
+  conn : int;  (** owning D-connection *)
+  serial : int;  (** backup serial within the connection *)
+  nu : float;  (** multiplexing threshold ν *)
+  bw : float;  (** bandwidth to draw upon activation, Mbps *)
+  primary_components : int array;  (** sorted encoded components of the primary *)
+}
+
+val encode_component : Net.Component.t -> int
+val encode_components : Net.Component.Set.t -> int array
+(** Sorted encoding for fast intersection counting. *)
+
+val shared_count : int array -> int array -> int
+(** Intersection size of two sorted encoded-component arrays. *)
+
+type t
+
+val create : Net.Topology.t -> lambda:float -> t
+(** [lambda]: per-component failure probability per time unit, the λ in
+    S(B_i, B_j). *)
+
+val lambda : t -> float
+
+val register : t -> link:int -> backup_info -> unit
+(** Add a backup to a link's table.
+    @raise Invalid_argument if the backup id is already on the link. *)
+
+val unregister : t -> link:int -> backup:int -> unit
+(** Remove; unknown ids are ignored. *)
+
+val spare_requirement : t -> link:int -> float
+(** Current spare bandwidth needed at the link (0 when no backups). *)
+
+val required_with : t -> link:int -> backup_info -> float
+(** What the spare requirement would become if the backup were added —
+    used by admission control during backup routing; does not modify the
+    table. *)
+
+val on_link : t -> link:int -> backup_info list
+val mem : t -> link:int -> backup:int -> bool
+val count_on : t -> link:int -> int
+
+val pi_size : t -> link:int -> backup:int -> int
+(** |Π(B_i, ℓ)|.  @raise Not_found for unknown backups. *)
+
+val psi_size : t -> link:int -> backup:int -> int
+(** |Ψ(B_i, ℓ)| = (backups on ℓ) − |Π(B_i, ℓ)| − 1. *)
+
+val psi_size_with : t -> link:int -> backup_info -> int
+(** |Ψ| the given backup would have if registered on the link (the
+    forward-pass computation of the negotiated establishment scheme). *)
+
+val conflict_set : t -> link:int -> backup:int -> int list
+(** Backup ids in Π(B_i, ℓ). *)
+
+val max_requirement_victims : t -> link:int -> int list
+(** Backup ids realising the current spare requirement (the ones whose
+    Π-set drives the max) — candidates for closure during resource
+    reconfiguration when the pool must shrink. *)

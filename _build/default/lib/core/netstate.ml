@@ -1,0 +1,150 @@
+type spare_policy = Multiplexed | Brute_force of float
+
+type t = {
+  topo : Net.Topology.t;
+  rnmp : Rtchan.Rnmp.t;
+  mux : Mux.t;
+  policy : spare_policy;
+  lambda : float;
+  dconns : (int, Dconn.t) Hashtbl.t;
+  by_bid : (int, Dconn.t * Dconn.backup) Hashtbl.t;
+  by_primary : (int, Dconn.t) Hashtbl.t; (* primary channel id -> conn *)
+  backups_on_link : (int, int list) Hashtbl.t; (* link -> bids *)
+  backups_through_node : (int, int list) Hashtbl.t;
+  mutable next_bid : int;
+}
+
+let create ?(lambda = 1e-4) ?(policy = Multiplexed) topo () =
+  let rnmp = Rtchan.Rnmp.create topo in
+  (match policy with
+  | Multiplexed -> ()
+  | Brute_force spare ->
+    if spare < 0.0 then invalid_arg "Netstate.create: negative brute-force spare";
+    Net.Topology.iter_links topo (fun l ->
+        Rtchan.Resource.set_spare (Rtchan.Rnmp.resources rnmp) l.Net.Topology.id
+          (Float.min spare l.Net.Topology.capacity)));
+  {
+    topo;
+    rnmp;
+    mux = Mux.create topo ~lambda;
+    policy;
+    lambda;
+    dconns = Hashtbl.create 1024;
+    by_bid = Hashtbl.create 1024;
+    by_primary = Hashtbl.create 1024;
+    backups_on_link = Hashtbl.create 256;
+    backups_through_node = Hashtbl.create 256;
+    next_bid = 0;
+  }
+
+let topology t = t.topo
+let rnmp t = t.rnmp
+let resources t = Rtchan.Rnmp.resources t.rnmp
+let mux t = t.mux
+let lambda t = t.lambda
+let policy t = t.policy
+
+let fresh_backup_id t =
+  let id = t.next_bid in
+  t.next_bid <- id + 1;
+  id
+
+let index_add tbl key v =
+  Hashtbl.replace tbl key (v :: Option.value ~default:[] (Hashtbl.find_opt tbl key))
+
+let index_remove tbl key v =
+  match Hashtbl.find_opt tbl key with
+  | None -> ()
+  | Some l -> Hashtbl.replace tbl key (List.filter (fun x -> x <> v) l)
+
+let backup_info_of t (conn : Dconn.t) (b : Dconn.backup) =
+  {
+    Mux.backup = b.Dconn.bid;
+    conn = conn.Dconn.id;
+    serial = b.Dconn.serial;
+    nu = b.Dconn.nu;
+    bw = Dconn.bandwidth conn;
+    primary_components =
+      Mux.encode_components
+        (Net.Path.components t.topo conn.Dconn.primary.Rtchan.Channel.path);
+  }
+
+let refresh_spare t ~link =
+  match t.policy with
+  | Brute_force _ -> ()
+  | Multiplexed ->
+    let req = Mux.spare_requirement t.mux ~link in
+    Rtchan.Resource.set_spare (resources t) link req
+
+let register_backup t conn (b : Dconn.backup) =
+  let info = backup_info_of t conn b in
+  List.iter
+    (fun link ->
+      Mux.register t.mux ~link info;
+      refresh_spare t ~link;
+      index_add t.backups_on_link link b.Dconn.bid)
+    (Net.Path.links b.Dconn.path);
+  List.iter
+    (fun v -> index_add t.backups_through_node v b.Dconn.bid)
+    (Net.Path.nodes t.topo b.Dconn.path);
+  Hashtbl.replace t.by_bid b.Dconn.bid (conn, b)
+
+let unregister_backup t conn (b : Dconn.backup) =
+  List.iter
+    (fun link ->
+      Mux.unregister t.mux ~link ~backup:b.Dconn.bid;
+      refresh_spare t ~link;
+      index_remove t.backups_on_link link b.Dconn.bid)
+    (Net.Path.links b.Dconn.path);
+  List.iter
+    (fun v -> index_remove t.backups_through_node v b.Dconn.bid)
+    (Net.Path.nodes t.topo b.Dconn.path);
+  ignore conn;
+  Hashtbl.remove t.by_bid b.Dconn.bid
+
+let backup_admissible t ~link info =
+  match t.policy with
+  | Brute_force _ -> true
+  | Multiplexed ->
+    let req = Mux.required_with t.mux ~link info in
+    Rtchan.Resource.can_set_spare (resources t) link req
+
+let add_dconn t conn =
+  if Hashtbl.mem t.dconns conn.Dconn.id then
+    invalid_arg (Printf.sprintf "Netstate.add_dconn: duplicate id %d" conn.Dconn.id);
+  Hashtbl.replace t.dconns conn.Dconn.id conn;
+  Hashtbl.replace t.by_primary conn.Dconn.primary.Rtchan.Channel.id conn
+
+let remove_dconn t id =
+  match Hashtbl.find_opt t.dconns id with
+  | None -> ()
+  | Some conn ->
+    List.iter (fun b -> unregister_backup t conn b) conn.Dconn.backups;
+    Rtchan.Rnmp.teardown t.rnmp conn.Dconn.primary.Rtchan.Channel.id;
+    Hashtbl.remove t.by_primary conn.Dconn.primary.Rtchan.Channel.id;
+    Hashtbl.remove t.dconns id
+
+let find t id = Hashtbl.find_opt t.dconns id
+let dconns t = Hashtbl.fold (fun _ c acc -> c :: acc) t.dconns []
+let dconn_count t = Hashtbl.length t.dconns
+
+let spare_pool t =
+  Array.init (Net.Topology.num_links t.topo) (fun l ->
+      Rtchan.Resource.spare (resources t) l)
+
+let backups_using t comp =
+  let bids =
+    match comp with
+    | Net.Component.Link l ->
+      Option.value ~default:[] (Hashtbl.find_opt t.backups_on_link l)
+    | Net.Component.Node v ->
+      Option.value ~default:[] (Hashtbl.find_opt t.backups_through_node v)
+  in
+  List.filter_map (fun bid -> Hashtbl.find_opt t.by_bid bid) bids
+
+let conns_with_primary_on t comp =
+  let ids = Rtchan.Rnmp.channels_disabled_by t.rnmp [ comp ] in
+  List.filter_map (fun cid -> Hashtbl.find_opt t.by_primary cid) ids
+
+let network_load t = Rtchan.Resource.network_load (resources t)
+let spare_fraction t = Rtchan.Resource.spare_fraction (resources t)

@@ -1,0 +1,70 @@
+(** Central BCP network state: topology, primary-channel reservations
+    (RNMP), the backup-multiplexing tables, and the D-connection registry.
+
+    This is the "planning" layer shared by the static evaluation engine
+    (Tables 1–3, Figure 9) and the event-driven protocol simulator. *)
+
+(** How spare bandwidth is sized on each link. *)
+type spare_policy =
+  | Multiplexed
+      (** the paper's scheme: per-link requirement from the Π-sets *)
+  | Brute_force of float
+      (** Section 7.4 baseline: the same fixed spare (Mbps) on every link,
+          regardless of network status *)
+
+type t
+
+val create :
+  ?lambda:float -> ?policy:spare_policy -> Net.Topology.t -> unit -> t
+(** [lambda] defaults to 1e-4 (component failure probability per time
+    unit); [policy] defaults to [Multiplexed]. *)
+
+val topology : t -> Net.Topology.t
+val rnmp : t -> Rtchan.Rnmp.t
+val resources : t -> Rtchan.Resource.t
+val mux : t -> Mux.t
+val lambda : t -> float
+val policy : t -> spare_policy
+
+val fresh_backup_id : t -> int
+
+val add_dconn : t -> Dconn.t -> unit
+(** Register an established connection (used by {!Establish}). *)
+
+val remove_dconn : t -> int -> unit
+(** Tear down a connection completely: primary bandwidth, every backup's
+    multiplexing registration, and the registry entry. *)
+
+val find : t -> int -> Dconn.t option
+val dconns : t -> Dconn.t list
+val dconn_count : t -> int
+
+val register_backup : t -> Dconn.t -> Dconn.backup -> unit
+(** Enter a routed backup into the multiplexing tables of every link on
+    its path and update the links' spare reservations per the policy. *)
+
+val unregister_backup : t -> Dconn.t -> Dconn.backup -> unit
+(** Remove from the tables and shrink spare reservations accordingly. *)
+
+val backup_admissible : t -> link:int -> Mux.backup_info -> bool
+(** Could the link absorb this backup without violating
+    primary + spare ≤ capacity?  Always true under [Brute_force]. *)
+
+val backup_info_of : t -> Dconn.t -> Dconn.backup -> Mux.backup_info
+
+val refresh_spare : t -> link:int -> unit
+(** Re-derive the link's spare reservation from the mux table (after
+    activations or closures). *)
+
+val spare_pool : t -> float array
+(** Snapshot of per-link spare bandwidth indexed by link id — the pools
+    backups draw from during recovery. *)
+
+val backups_using : t -> Net.Component.t -> (Dconn.t * Dconn.backup) list
+(** Backups whose path crosses the component. *)
+
+val conns_with_primary_on : t -> Net.Component.t -> Dconn.t list
+(** Connections whose primary path crosses the component. *)
+
+val network_load : t -> float
+val spare_fraction : t -> float

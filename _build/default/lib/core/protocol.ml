@@ -1,0 +1,61 @@
+type scheme = Scheme1 | Scheme2 | Scheme3
+
+type priority_mode =
+  | No_priority
+  | Delayed_activation of float
+  | Preemptive
+
+type config = {
+  scheme : scheme;
+  priority : priority_mode;
+  rcc : Rcc.Transport.params;
+  detection_latency : float;
+  rejoin_timeout : float;
+  best_effort_delay : float;
+  rejoin_retry : float;
+  reconfigure_netstate : bool;
+}
+
+let default_config =
+  {
+    scheme = Scheme3;
+    priority = No_priority;
+    rcc = Rcc.Transport.default_params;
+    detection_latency = 1e-4;
+    rejoin_timeout = 0.5;
+    best_effort_delay = 1e-3;
+    rejoin_retry = 2e-2;
+    reconfigure_netstate = false;
+  }
+
+let serial_bits = 6
+let serial_mask = (1 lsl serial_bits) - 1
+
+let cid ~conn ~serial =
+  if serial < 0 || serial > serial_mask then
+    invalid_arg "Protocol.cid: serial outside [0, 63]";
+  if conn < 0 then invalid_arg "Protocol.cid: negative connection id";
+  (conn lsl serial_bits) lor serial
+
+let conn_of_cid c = c lsr serial_bits
+let serial_of_cid c = c land serial_mask
+
+type chan_state = N | P | B | U
+
+let pp_chan_state ppf s =
+  Format.pp_print_string ppf
+    (match s with N -> "N" | P -> "P" | B -> "B" | U -> "U")
+
+type be_message =
+  | Rejoin_request of { channel : int }
+  | Rejoin of { channel : int }
+  | Closure of { channel : int }
+
+let pp_be_message ppf = function
+  | Rejoin_request { channel } -> Format.fprintf ppf "rejoin-request(ch=%d)" channel
+  | Rejoin { channel } -> Format.fprintf ppf "rejoin(ch=%d)" channel
+  | Closure { channel } -> Format.fprintf ppf "closure(ch=%d)" channel
+
+let be_channel = function
+  | Rejoin_request { channel } | Rejoin { channel } | Closure { channel } ->
+    channel

@@ -1,0 +1,836 @@
+type entry = {
+  cid : int;
+  conn : int;
+  serial : int;
+  nu : float;
+  bw : float;
+  path : Net.Path.t;
+  pnodes : int array;
+  pos : int;
+  mutable state : Protocol.chan_state;
+  mutable rejoin : Sim.Engine.handle option;
+}
+
+(* End-node bookkeeping for one D-connection. *)
+type view = {
+  vconn : int;
+  is_src : bool;
+  healthy : (int, bool) Hashtbl.t; (* serial -> usable as standby *)
+  mutable attempting : int option;
+  mutable pending : Sim.Engine.handle option; (* delayed activation *)
+}
+
+type daemon = {
+  node : int;
+  chans : (int, entry) Hashtbl.t;
+  views : (int, view) Hashtbl.t; (* conn -> view (end nodes only) *)
+}
+
+type record = {
+  conn : int;
+  failure_time : float;
+  mutable excluded : bool;
+  mutable src_informed : float option;
+  mutable dst_informed : float option;
+  mutable activations : (int * float) list;
+  mutable resumed_at : float option;
+  mutable recovered_serial : int option;
+}
+
+type activation_hold = { a_conn : int; a_serial : int; a_nu : float; a_bw : float }
+
+type t = {
+  engine : Sim.Engine.t;
+  topo : Net.Topology.t;
+  ns : Netstate.t;
+  cfg : Protocol.config;
+  trace : Sim.Trace.t;
+  daemons : daemon array;
+  mutable rcc : Rcc.Transport.t array;
+  link_failed : bool array;
+  node_alive : bool array;
+  pool : float array;
+  activated : (int, activation_hold list) Hashtbl.t; (* link -> holds *)
+  recs : (int, record) Hashtbl.t;
+}
+
+let engine t = t.engine
+let netstate t = t.ns
+let config t = t.cfg
+let trace t = t.trace
+let now t = Sim.Engine.now t.engine
+
+let tracef t tag fmt = Sim.Trace.recordf t.trace ~time:(now t) ~tag fmt
+
+let link_alive t l =
+  let lk = Net.Topology.link t.topo l in
+  (not t.link_failed.(l))
+  && t.node_alive.(lk.Net.Topology.src)
+  && t.node_alive.(lk.Net.Topology.dst)
+
+let refresh_link_transport t l =
+  Rcc.Transport.set_alive t.rcc.(l) (link_alive t l)
+
+(* ---------- construction ---------- *)
+
+let add_entry t conn_id serial nu bw path =
+  let pnodes = Array.of_list (Net.Path.nodes t.topo path) in
+  let cid = Protocol.cid ~conn:conn_id ~serial in
+  Array.iteri
+    (fun pos node ->
+      let e =
+        {
+          cid;
+          conn = conn_id;
+          serial;
+          nu;
+          bw;
+          path;
+          pnodes;
+          pos;
+          state = (if serial = 0 then Protocol.P else Protocol.B);
+          rejoin = None;
+        }
+      in
+      Hashtbl.replace t.daemons.(node).chans cid e)
+    pnodes
+
+let add_view t conn node ~is_src =
+  let v =
+    {
+      vconn = conn.Dconn.id;
+      is_src;
+      healthy = Hashtbl.create 4;
+      attempting = None;
+      pending = None;
+    }
+  in
+  List.iter
+    (fun b ->
+      Hashtbl.replace v.healthy b.Dconn.serial (b.Dconn.state = Dconn.Standby))
+    conn.Dconn.backups;
+  Hashtbl.replace t.daemons.(node).views conn.Dconn.id v
+
+let create ?(config = Protocol.default_config) ns =
+  let topo = Netstate.topology ns in
+  let n = Net.Topology.num_nodes topo in
+  let m = Net.Topology.num_links topo in
+  let t =
+    {
+      engine = Sim.Engine.create ();
+      topo;
+      ns;
+      cfg = config;
+      trace = Sim.Trace.create ();
+      daemons =
+        Array.init n (fun node ->
+            { node; chans = Hashtbl.create 64; views = Hashtbl.create 8 });
+      rcc = [||];
+      link_failed = Array.make m false;
+      node_alive = Array.make n true;
+      pool = Netstate.spare_pool ns;
+      activated = Hashtbl.create 64;
+      recs = Hashtbl.create 64;
+    }
+  in
+  List.iter
+    (fun conn ->
+      let bw = Dconn.bandwidth conn in
+      add_entry t conn.Dconn.id 0 infinity bw
+        conn.Dconn.primary.Rtchan.Channel.path;
+      List.iter
+        (fun b ->
+          if b.Dconn.state = Dconn.Standby then
+            add_entry t conn.Dconn.id b.Dconn.serial b.Dconn.nu bw b.Dconn.path)
+        conn.Dconn.backups;
+      add_view t conn conn.Dconn.src ~is_src:true;
+      add_view t conn conn.Dconn.dst ~is_src:false)
+    (Netstate.dconns ns);
+  t
+
+(* RCC deliver closures need [t]; fill the transports afterwards. *)
+let rec wire_transports t =
+  if Array.length t.rcc = 0 then
+    t.rcc <-
+      Array.init (Net.Topology.num_links t.topo) (fun l ->
+          let lk = Net.Topology.link t.topo l in
+          Rcc.Transport.create t.engine ~params:t.cfg.Protocol.rcc ~link:l
+            ~deliver:(fun c ->
+              if t.node_alive.(lk.Net.Topology.dst) then
+                handle_control t lk.Net.Topology.dst ~via:l c))
+
+(* ---------- message plumbing ---------- *)
+
+and rcc_send t ~from_node ~to_node c =
+  wire_transports t;
+  match Net.Topology.find_link t.topo ~src:from_node ~dst:to_node with
+  | None -> tracef t "drop" "no link %d->%d for %a" from_node to_node Rcc.Control.pp c
+  | Some l -> Rcc.Transport.send t.rcc.(l) c
+
+and be_send t ~from_node ~to_node msg =
+  match Net.Topology.find_link t.topo ~src:from_node ~dst:to_node with
+  | None -> false
+  | Some l ->
+    if not (link_alive t l) then false
+    else begin
+      ignore
+        (Sim.Engine.schedule_after t.engine ~delay:t.cfg.Protocol.best_effort_delay
+           (fun () ->
+             if link_alive t l && t.node_alive.(to_node) then
+               handle_be t to_node msg));
+      true
+    end
+
+(* ---------- record helpers ---------- *)
+
+and record_for t conn_id =
+  match Hashtbl.find_opt t.recs conn_id with
+  | Some r -> Some r
+  | None -> None
+
+and ensure_record t conn_id =
+  match Hashtbl.find_opt t.recs conn_id with
+  | Some r -> r
+  | None ->
+    let r =
+      {
+        conn = conn_id;
+        failure_time = now t;
+        excluded = false;
+        src_informed = None;
+        dst_informed = None;
+        activations = [];
+        resumed_at = None;
+        recovered_serial = None;
+      }
+    in
+    Hashtbl.replace t.recs conn_id r;
+    r
+
+(* ---------- rejoin timers & soft-state teardown ---------- *)
+
+and start_rejoin_timer t node e =
+  if e.rejoin = None then
+    e.rejoin <-
+      Some
+        (Sim.Engine.schedule_after t.engine ~delay:t.cfg.Protocol.rejoin_timeout
+           (fun () -> rejoin_expired t node e))
+
+and cancel_rejoin_timer t e =
+  match e.rejoin with
+  | None -> ()
+  | Some h ->
+    Sim.Engine.cancel t.engine h;
+    e.rejoin <- None
+
+and rejoin_expired t node e =
+  e.rejoin <- None;
+  if e.state = Protocol.U then begin
+    e.state <- Protocol.N;
+    tracef t "expire" "node %d: ch %d torn down (rejoin timer)" node e.cid;
+    (* The source node applies the network-wide resource reconfiguration
+       exactly once per channel. *)
+    if e.pos = 0 && t.cfg.Protocol.reconfigure_netstate then
+      reconfigure_teardown t e
+  end
+
+and reconfigure_teardown t e =
+  match Netstate.find t.ns e.conn with
+  | None -> ()
+  | Some conn ->
+    if e.serial = 0 then begin
+      Rtchan.Rnmp.teardown (Netstate.rnmp t.ns) conn.Dconn.primary.Rtchan.Channel.id;
+      conn.Dconn.primary_alive <- false
+    end
+    else begin
+      match Dconn.find_backup conn ~serial:e.serial with
+      | None -> ()
+      | Some b ->
+        if b.Dconn.state = Dconn.Standby then begin
+          b.Dconn.state <- Dconn.Broken;
+          Netstate.unregister_backup t.ns conn b
+        end
+    end
+
+(* ---------- failure-report propagation ---------- *)
+
+(* Positions bounding a failed component on a channel path: nodes at
+   positions <= fst report toward the source, nodes at positions >= snd
+   toward the destination. *)
+and comp_bounds e comp =
+  match comp with
+  | Net.Component.Link l ->
+    let rec find i =
+      if i >= Array.length e.path.Net.Path.links then None
+      else if e.path.Net.Path.links.(i) = l then Some (i, i + 1)
+      else find (i + 1)
+    in
+    find 0
+  | Net.Component.Node v ->
+    let rec find j =
+      if j >= Array.length e.pnodes then None
+      else if e.pnodes.(j) = v then Some (j - 1, j + 1)
+      else find (j + 1)
+    in
+    find 0
+
+and scheme_reports_to_src t =
+  match t.cfg.Protocol.scheme with
+  | Protocol.Scheme2 | Protocol.Scheme3 -> true
+  | Protocol.Scheme1 -> false
+
+and scheme_reports_to_dst t =
+  match t.cfg.Protocol.scheme with
+  | Protocol.Scheme1 | Protocol.Scheme3 -> true
+  | Protocol.Scheme2 -> false
+
+and process_failure_report t node e comp ~tag =
+  match e.state with
+  | Protocol.U | Protocol.N -> () (* duplicate reports are ignored *)
+  | Protocol.P | Protocol.B ->
+    e.state <- Protocol.U;
+    tracef t "state" "node %d: ch %d -> U (%s %a)" node e.cid tag
+      Net.Component.pp comp;
+    start_rejoin_timer t node e;
+    let hops = Net.Path.hops e.path in
+    (match comp_bounds e comp with
+    | None -> ()
+    | Some (src_side, dst_side) ->
+      if scheme_reports_to_src t && e.pos <= src_side && e.pos > 0 then
+        rcc_send t ~from_node:node ~to_node:e.pnodes.(e.pos - 1)
+          (Rcc.Control.Failure_report { channel = e.cid; component = comp });
+      if scheme_reports_to_dst t && e.pos >= dst_side && e.pos < hops then
+        rcc_send t ~from_node:node ~to_node:e.pnodes.(e.pos + 1)
+          (Rcc.Control.Failure_report { channel = e.cid; component = comp }));
+    (* End-node duties. *)
+    if e.pos = 0 then begin
+      source_learns_failure t node e;
+      (* Soft-state channel repair: the source probes the failed channel. *)
+      send_rejoin_request t node e
+    end;
+    if e.pos = hops && hops > 0 then dest_learns_failure t node e
+
+and send_rejoin_request t node e =
+  if Net.Path.hops e.path > 0 then begin
+    tracef t "rejoin-req" "node %d: probing ch %d" node e.cid;
+    forward_rejoin_request t node e
+  end
+
+and forward_rejoin_request t node e =
+  (* Forward toward the destination; hold and retry while the next hop is
+     dead, as long as the channel is still repairable (state U). *)
+  if e.state = Protocol.U then begin
+    let next = e.pnodes.(e.pos + 1) in
+    if not (be_send t ~from_node:node ~to_node:next
+              (Protocol.Rejoin_request { channel = e.cid }))
+    then
+      ignore
+        (Sim.Engine.schedule_after t.engine ~delay:t.cfg.Protocol.rejoin_retry
+           (fun () -> forward_rejoin_request t node e))
+  end
+
+(* ---------- end-node failure handling & activation ---------- *)
+
+and view_of t node conn_id = Hashtbl.find_opt t.daemons.(node).views conn_id
+
+and source_learns_failure t node e =
+  match view_of t node e.conn with
+  | None -> ()
+  | Some v ->
+    if e.serial = 0 then begin
+      (match record_for t e.conn with
+      | Some r when r.src_informed = None -> r.src_informed <- Some (now t)
+      | _ -> ());
+      if scheme_reports_to_src t then try_activate t node v
+    end
+    else begin
+      Hashtbl.replace v.healthy e.serial false;
+      if v.attempting = Some e.serial then begin
+        cancel_pending t v;
+        v.attempting <- None;
+        if scheme_reports_to_src t then try_activate t node v
+      end
+    end
+
+and dest_learns_failure t node e =
+  match view_of t node e.conn with
+  | None -> ()
+  | Some v ->
+    if e.serial = 0 then begin
+      (match record_for t e.conn with
+      | Some r when r.dst_informed = None -> r.dst_informed <- Some (now t)
+      | _ -> ());
+      if scheme_reports_to_dst t then try_activate t node v
+    end
+    else begin
+      Hashtbl.replace v.healthy e.serial false;
+      if v.attempting = Some e.serial then begin
+        cancel_pending t v;
+        v.attempting <- None;
+        if scheme_reports_to_dst t then try_activate t node v
+      end
+    end
+
+and cancel_pending t v =
+  match v.pending with
+  | None -> ()
+  | Some h ->
+    Sim.Engine.cancel t.engine h;
+    v.pending <- None
+
+(* Pick the lowest-serial locally healthy standby; both end nodes apply
+   the same rule so they agree on which backup to activate. *)
+and next_candidate t node v =
+  let d = t.daemons.(node) in
+  let candidates =
+    Hashtbl.fold
+      (fun serial ok acc ->
+        if not ok then acc
+        else
+          match Hashtbl.find_opt d.chans (Protocol.cid ~conn:v.vconn ~serial) with
+          | Some e when e.state = Protocol.B -> (serial, e) :: acc
+          | _ -> acc)
+      v.healthy []
+  in
+  match List.sort (fun (a, _) (b, _) -> Int.compare a b) candidates with
+  | [] -> None
+  | c :: _ -> Some c
+
+and try_activate t node v =
+  match v.attempting with
+  | Some _ -> () (* an activation is already in flight *)
+  | None ->
+    (match next_candidate t node v with
+    | None -> tracef t "give-up" "node %d: conn %d has no usable backup" node v.vconn
+    | Some (serial, e) ->
+      v.attempting <- Some serial;
+      (match t.cfg.Protocol.priority with
+      | Protocol.Delayed_activation slot ->
+        let degree =
+          Float.round (e.nu /. Netstate.lambda t.ns) |> int_of_float |> max 0
+        in
+        let delay = slot *. float_of_int degree in
+        tracef t "act-delay" "node %d: conn %d serial %d waits %.6fs" node
+          v.vconn serial delay;
+        v.pending <-
+          Some
+            (Sim.Engine.schedule_after t.engine ~delay (fun () ->
+                 v.pending <- None;
+                 initiate_wave t node v serial))
+      | Protocol.No_priority | Protocol.Preemptive ->
+        initiate_wave t node v serial))
+
+and initiate_wave t node v serial =
+  let d = t.daemons.(node) in
+  match Hashtbl.find_opt d.chans (Protocol.cid ~conn:v.vconn ~serial) with
+  | None -> ()
+  | Some e ->
+    if e.state <> Protocol.B then begin
+      Hashtbl.replace v.healthy serial false;
+      v.attempting <- None;
+      try_activate t node v
+    end
+    else if transition_to_p t node e then begin
+      let hops = Net.Path.hops e.path in
+      if v.is_src then begin
+        let r = ensure_record t v.vconn in
+        r.resumed_at <- Some (now t);
+        r.activations <- (serial, now t) :: r.activations;
+        tracef t "resume" "node %d: conn %d resumes on backup %d" node v.vconn
+          serial;
+        if hops > 0 then
+          rcc_send t ~from_node:node ~to_node:e.pnodes.(1)
+            (Rcc.Control.Activation
+               { conn = v.vconn; serial; channel = e.cid })
+      end
+      else if hops > 0 then
+        rcc_send t ~from_node:node ~to_node:e.pnodes.(hops - 1)
+          (Rcc.Control.Activation { conn = v.vconn; serial; channel = e.cid })
+    end
+    else begin
+      (* Multiplexing failure right at the end node. *)
+      Hashtbl.replace v.healthy serial false;
+      v.attempting <- None;
+      try_activate t node v
+    end
+
+(* Promote a backup entry to primary at this node, drawing spare
+   bandwidth for the node's outgoing path link. *)
+and transition_to_p t node e =
+  let hops = Net.Path.hops e.path in
+  let drawn =
+    if e.pos >= hops then true
+    else begin
+      let l = e.path.Net.Path.links.(e.pos) in
+      if t.pool.(l) +. 1e-9 >= e.bw then begin
+        t.pool.(l) <- t.pool.(l) -. e.bw;
+        hold_activation t l e;
+        true
+      end
+      else
+        match t.cfg.Protocol.priority with
+        | Protocol.Preemptive -> preempt_for t node e l
+        | Protocol.No_priority | Protocol.Delayed_activation _ -> false
+    end
+  in
+  if drawn then begin
+    cancel_rejoin_timer t e;
+    e.state <- Protocol.P;
+    tracef t "activate" "node %d: ch %d -> P" node e.cid;
+    true
+  end
+  else begin
+    mux_failure_at t node e;
+    false
+  end
+
+and hold_activation t l e =
+  let holds = Option.value ~default:[] (Hashtbl.find_opt t.activated l) in
+  Hashtbl.replace t.activated l
+    ({ a_conn = e.conn; a_serial = e.serial; a_nu = e.nu; a_bw = e.bw } :: holds)
+
+and preempt_for t node e l =
+  let holds = Option.value ~default:[] (Hashtbl.find_opt t.activated l) in
+  (* Victims: already-activated backups with strictly lower priority
+     (larger ν), most expendable first. *)
+  let victims =
+    List.sort (fun a b -> Float.compare b.a_nu a.a_nu)
+      (List.filter (fun h -> h.a_nu > e.nu) holds)
+  in
+  (* Free victims one by one until the pool suffices. *)
+  let rec go freed remaining =
+    if t.pool.(l) +. 1e-9 >= e.bw then Some freed
+    else
+      match remaining with
+      | [] -> None
+      | v :: rest ->
+        t.pool.(l) <- t.pool.(l) +. v.a_bw;
+        Hashtbl.replace t.activated l
+          (List.filter (fun h -> h <> v)
+             (Option.value ~default:[] (Hashtbl.find_opt t.activated l)));
+        preempt_victim t node v l;
+        go (v :: freed) rest
+  in
+  match go [] victims with
+  | Some _ ->
+    t.pool.(l) <- t.pool.(l) -. e.bw;
+    hold_activation t l e;
+    true
+  | None -> false
+
+(* A preempted channel is handled as if disabled by a component failure
+   (Section 4.3). *)
+and preempt_victim t node v l =
+  let cid = Protocol.cid ~conn:v.a_conn ~serial:v.a_serial in
+  match Hashtbl.find_opt t.daemons.(node).chans cid with
+  | None -> ()
+  | Some victim_entry ->
+    tracef t "preempt" "node %d: ch %d preempted on link %d" node cid l;
+    victim_entry.state <- Protocol.B (* so the report processing runs *);
+    process_failure_report t node victim_entry (Net.Component.Link l)
+      ~tag:"preempted"
+
+and mux_failure_at t node e =
+  let hops = Net.Path.hops e.path in
+  let l = if e.pos < hops then e.path.Net.Path.links.(e.pos) else -1 in
+  tracef t "mux-fail" "node %d: ch %d spare exhausted on link %d" node e.cid l;
+  (match e.state with
+  | Protocol.P | Protocol.B ->
+    e.state <- Protocol.U;
+    start_rejoin_timer t node e
+  | Protocol.U | Protocol.N -> ());
+  if l >= 0 then begin
+    if scheme_reports_to_src t && e.pos > 0 then
+      rcc_send t ~from_node:node ~to_node:e.pnodes.(e.pos - 1)
+        (Rcc.Control.Mux_failure_report { channel = e.cid; link = l });
+    if scheme_reports_to_dst t && e.pos < hops then
+      rcc_send t ~from_node:node ~to_node:e.pnodes.(e.pos + 1)
+        (Rcc.Control.Mux_failure_report { channel = e.cid; link = l })
+  end
+
+(* ---------- control-plane dispatch ---------- *)
+
+and handle_control t node ~via c =
+  let d = t.daemons.(node) in
+  match c with
+  | Rcc.Control.Failure_report { channel; component } ->
+    (match Hashtbl.find_opt d.chans channel with
+    | None -> ()
+    | Some e -> process_failure_report t node e component ~tag:"report")
+  | Rcc.Control.Mux_failure_report { channel; link } ->
+    (match Hashtbl.find_opt d.chans channel with
+    | None -> ()
+    | Some e ->
+      process_failure_report t node e (Net.Component.Link link)
+        ~tag:"mux-report")
+  | Rcc.Control.Activation { conn; serial; channel } ->
+    (match Hashtbl.find_opt d.chans channel with
+    | None -> ()
+    | Some e ->
+      (match e.state with
+      | Protocol.P | Protocol.U | Protocol.N ->
+        (* Already activated from the other end, or a fresher failure is
+           being reported: discard (Section 4.2). *)
+        ()
+      | Protocol.B ->
+        let sender = (Net.Topology.link t.topo via).Net.Topology.src in
+        let toward_dst = e.pos > 0 && e.pnodes.(e.pos - 1) = sender in
+        let hops = Net.Path.hops e.path in
+        if transition_to_p t node e then begin
+          (* Scheme 1: the source resumes when the activation reaches it. *)
+          if e.pos = 0 then begin
+            match view_of t node conn with
+            | Some v when v.is_src ->
+              let r = ensure_record t conn in
+              if r.resumed_at = None then begin
+                r.resumed_at <- Some (now t);
+                r.activations <- (serial, now t) :: r.activations;
+                tracef t "resume" "node %d: conn %d resumes on backup %d"
+                  node conn serial
+              end
+            | _ -> ()
+          end;
+          if toward_dst && e.pos < hops then
+            rcc_send t ~from_node:node ~to_node:e.pnodes.(e.pos + 1) c
+          else if (not toward_dst) && e.pos > 0 then
+            rcc_send t ~from_node:node ~to_node:e.pnodes.(e.pos - 1) c
+        end))
+
+(* ---------- best-effort (reconfiguration) dispatch ---------- *)
+
+and handle_be t node msg =
+  let d = t.daemons.(node) in
+  let channel = Protocol.be_channel msg in
+  match Hashtbl.find_opt d.chans channel with
+  | None -> ()
+  | Some e ->
+    let hops = Net.Path.hops e.path in
+    (match msg with
+    | Protocol.Rejoin_request _ ->
+      if e.pos = hops then begin
+        (* Destination: channel is repairable — answer with a rejoin. *)
+        if e.state = Protocol.U then begin
+          cancel_rejoin_timer t e;
+          e.state <- Protocol.B;
+          tracef t "rejoin" "node %d: ch %d repaired (dst) -> B" node e.cid;
+          if hops > 0 then
+            ignore
+              (be_send t ~from_node:node ~to_node:e.pnodes.(hops - 1)
+                 (Protocol.Rejoin { channel = e.cid }))
+        end
+      end
+      else if e.state = Protocol.U then forward_rejoin_request t node e
+    | Protocol.Rejoin _ ->
+      (match e.state with
+      | Protocol.U ->
+        cancel_rejoin_timer t e;
+        e.state <- Protocol.B;
+        tracef t "rejoin" "node %d: ch %d repaired -> B" node e.cid;
+        if e.pos > 0 then
+          ignore
+            (be_send t ~from_node:node ~to_node:e.pnodes.(e.pos - 1)
+               (Protocol.Rejoin { channel = e.cid }))
+        else begin
+          (* Repaired channel becomes a backup of its connection. *)
+          match view_of t node e.conn with
+          | None -> ()
+          | Some v -> Hashtbl.replace v.healthy e.serial true
+        end
+      | Protocol.N ->
+        (* Rejoin arrived after the timer expired: undo with a closure
+           toward the destination (Fig. 6). *)
+        tracef t "closure" "node %d: ch %d rejoin too late, closing" node e.cid;
+        if e.pos < hops then
+          ignore
+            (be_send t ~from_node:node ~to_node:e.pnodes.(e.pos + 1)
+               (Protocol.Closure { channel = e.cid }))
+      | Protocol.P | Protocol.B -> ())
+    | Protocol.Closure _ ->
+      cancel_rejoin_timer t e;
+      if e.state <> Protocol.N then begin
+        e.state <- Protocol.N;
+        tracef t "closure" "node %d: ch %d closed" node e.cid
+      end;
+      if e.pos < hops then
+        ignore
+          (be_send t ~from_node:node ~to_node:e.pnodes.(e.pos + 1)
+             (Protocol.Closure { channel = e.cid })))
+
+(* ---------- fault injection ---------- *)
+
+let mark_affected_conns t comp =
+  List.iter
+    (fun conn ->
+      let r = ensure_record t conn.Dconn.id in
+      (match comp with
+      | Net.Component.Node v
+        when conn.Dconn.src = v || conn.Dconn.dst = v ->
+        r.excluded <- true
+      | _ -> ()))
+    (Netstate.conns_with_primary_on t.ns comp)
+
+let detect t node comp =
+  if t.node_alive.(node) then begin
+    let d = t.daemons.(node) in
+    let entries = Hashtbl.fold (fun _ e acc -> e :: acc) d.chans [] in
+    List.iter
+      (fun e ->
+        match e.state with
+        | Protocol.P | Protocol.B ->
+          if Net.Path.uses_component t.topo e.path comp then begin
+            tracef t "detect" "node %d: ch %d lost %a" node e.cid
+              Net.Component.pp comp;
+            process_failure_report t node e comp ~tag:"detect"
+          end
+        | Protocol.U | Protocol.N -> ())
+      entries
+  end
+
+let do_fail_link t l =
+  wire_transports t;
+  if not t.link_failed.(l) then begin
+    t.link_failed.(l) <- true;
+    refresh_link_transport t l;
+    tracef t "fail" "link %d down" l;
+    mark_affected_conns t (Net.Component.Link l);
+    let lk = Net.Topology.link t.topo l in
+    ignore
+      (Sim.Engine.schedule_after t.engine ~delay:t.cfg.Protocol.detection_latency
+         (fun () ->
+           detect t lk.Net.Topology.src (Net.Component.Link l);
+           detect t lk.Net.Topology.dst (Net.Component.Link l)))
+  end
+
+let do_fail_node t v =
+  wire_transports t;
+  if t.node_alive.(v) then begin
+    t.node_alive.(v) <- false;
+    tracef t "fail" "node %d down" v;
+    let incident = Net.Topology.out_links t.topo v @ Net.Topology.in_links t.topo v in
+    List.iter (fun l -> refresh_link_transport t l) incident;
+    mark_affected_conns t (Net.Component.Node v);
+    let neighbors =
+      List.sort_uniq Int.compare
+        (List.map
+           (fun l ->
+             let lk = Net.Topology.link t.topo l in
+             if lk.Net.Topology.src = v then lk.Net.Topology.dst
+             else lk.Net.Topology.src)
+           incident)
+    in
+    ignore
+      (Sim.Engine.schedule_after t.engine ~delay:t.cfg.Protocol.detection_latency
+         (fun () ->
+           List.iter (fun x -> detect t x (Net.Component.Node v)) neighbors))
+  end
+
+let fail_link t ~at l = ignore (Sim.Engine.schedule t.engine ~at (fun () -> do_fail_link t l))
+let fail_node t ~at v = ignore (Sim.Engine.schedule t.engine ~at (fun () -> do_fail_node t v))
+
+let repair_link t ~at l =
+  ignore
+    (Sim.Engine.schedule t.engine ~at (fun () ->
+         wire_transports t;
+         if t.link_failed.(l) then begin
+           t.link_failed.(l) <- false;
+           refresh_link_transport t l;
+           tracef t "repair" "link %d up" l
+         end))
+
+let repair_node t ~at v =
+  ignore
+    (Sim.Engine.schedule t.engine ~at (fun () ->
+         wire_transports t;
+         if not t.node_alive.(v) then begin
+           t.node_alive.(v) <- true;
+           tracef t "repair" "node %d up" v;
+           List.iter
+             (fun l -> refresh_link_transport t l)
+             (Net.Topology.out_links t.topo v @ Net.Topology.in_links t.topo v)
+         end))
+
+let inject t ~at (sc : Failures.Scenario.t) =
+  List.iter
+    (function
+      | Net.Component.Link l -> fail_link t ~at l
+      | Net.Component.Node v -> fail_node t ~at v)
+    sc.Failures.Scenario.components
+
+let run ?until t =
+  wire_transports t;
+  Sim.Engine.run ?until t.engine
+
+(* ---------- observations ---------- *)
+
+let state_of t ~conn ~serial =
+  let cid = Protocol.cid ~conn ~serial in
+  match Netstate.find t.ns conn with
+  | None -> []
+  | Some c ->
+    let path =
+      if serial = 0 then Some c.Dconn.primary.Rtchan.Channel.path
+      else
+        Option.map (fun b -> b.Dconn.path) (Dconn.find_backup c ~serial)
+    in
+    (match path with
+    | None -> []
+    | Some p ->
+      List.map
+        (fun node ->
+          match Hashtbl.find_opt t.daemons.(node).chans cid with
+          | None -> Protocol.N
+          | Some e -> e.state)
+        (Net.Path.nodes t.topo p))
+
+let fully_activated t ~conn ~serial =
+  match state_of t ~conn ~serial with
+  | [] -> false
+  | states -> List.for_all (fun s -> s = Protocol.P) states
+
+let finalize t =
+  Hashtbl.iter
+    (fun conn_id r ->
+      match Netstate.find t.ns conn_id with
+      | None -> ()
+      | Some c ->
+        r.recovered_serial <-
+          List.find_map
+            (fun b ->
+              if fully_activated t ~conn:conn_id ~serial:b.Dconn.serial then
+                Some b.Dconn.serial
+              else None)
+            c.Dconn.backups)
+    t.recs
+
+let records t =
+  List.sort
+    (fun a b -> Int.compare a.conn b.conn)
+    (Hashtbl.fold (fun _ r acc -> r :: acc) t.recs [])
+
+let pool_remaining t l = t.pool.(l)
+
+let chan_state_at t ~node ~conn ~serial =
+  match Hashtbl.find_opt t.daemons.(node).chans (Protocol.cid ~conn ~serial) with
+  | None -> Protocol.N
+  | Some e -> e.state
+
+let link_is_alive = link_alive
+
+let node_is_alive t v = t.node_alive.(v)
+
+let active_serial_at_source t ~conn =
+  match Netstate.find t.ns conn with
+  | None -> None
+  | Some c ->
+    let serials =
+      0 :: List.map (fun b -> b.Dconn.serial) c.Dconn.backups
+    in
+    List.find_opt
+      (fun serial -> chan_state_at t ~node:c.Dconn.src ~conn ~serial = Protocol.P)
+      (List.sort Int.compare serials)
+
+let rcc_messages_sent t =
+  Array.fold_left (fun acc tr -> acc + Rcc.Transport.stats_sent tr) 0 t.rcc
+
+let control_messages_delivered t =
+  Array.fold_left (fun acc tr -> acc + Rcc.Transport.stats_delivered tr) 0 t.rcc

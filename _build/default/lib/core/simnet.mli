@@ -1,0 +1,91 @@
+(** Event-driven BCP protocol simulator.
+
+    Instantiates one BCP daemon per node over an established {!Netstate},
+    wires a pair of RCCs onto every link, and executes the full
+    failure-recovery procedure of Section 4 with real message exchanges:
+    failure detection at neighbours, hop-by-hop failure reporting over
+    healthy path segments, backup activation (Schemes 1/2/3, optional
+    priority modes), spare-pool draws with multiplexing failures and
+    optional preemption, and soft-state resource reconfiguration (rejoin
+    timers, rejoin-request/rejoin repair, closure).
+
+    Service-disruption times are recorded per connection so the measured
+    recovery delay can be compared against the Section 5.3 bound. *)
+
+type t
+
+val create : ?config:Protocol.config -> Netstate.t -> t
+(** Build daemons and RCCs for the current state of the network.  The
+    netstate is not copied: with
+    [config.reconfigure_netstate = true] the simulation writes back into
+    it (see {!Protocol.config}). *)
+
+val engine : t -> Sim.Engine.t
+val netstate : t -> Netstate.t
+val config : t -> Protocol.config
+val trace : t -> Sim.Trace.t
+
+(** {2 Fault injection} *)
+
+val fail_link : t -> at:float -> int -> unit
+val fail_node : t -> at:float -> int -> unit
+(** A failed node silences its daemon and kills all incident links. *)
+
+val repair_link : t -> at:float -> int -> unit
+val repair_node : t -> at:float -> int -> unit
+
+val inject : t -> at:float -> Failures.Scenario.t -> unit
+
+val run : ?until:float -> t -> unit
+
+(** {2 Observations} *)
+
+(** Per-connection recovery measurements. *)
+type record = {
+  conn : int;
+  failure_time : float;  (** when the primary was first hit *)
+  mutable excluded : bool;  (** an end node failed: unrecoverable *)
+  mutable src_informed : float option;
+  mutable dst_informed : float option;
+  mutable activations : (int * float) list;
+      (** (serial, time) of each activation the source committed to,
+          newest first *)
+  mutable resumed_at : float option;
+      (** when the source resumed sending (service disruption ends) *)
+  mutable recovered_serial : int option;
+      (** serial verified fully activated at the end of the run *)
+}
+
+val records : t -> record list
+(** One record per connection whose primary was disabled, sorted by
+    connection id.  Call {!finalize} (or {!run} to quiescence) first so
+    [recovered_serial] is validated. *)
+
+val finalize : t -> unit
+(** Validate activations: for each record, set [recovered_serial] to the
+    serial of a backup whose every node is in state [P]. *)
+
+val state_of : t -> conn:int -> serial:int -> Protocol.chan_state list
+(** The channel's state at every node along its path (source first). *)
+
+val fully_activated : t -> conn:int -> serial:int -> bool
+
+val pool_remaining : t -> int -> float
+(** Spare bandwidth left in a link's pool. *)
+
+val chan_state_at : t -> node:int -> conn:int -> serial:int -> Protocol.chan_state
+(** The channel's state at one node ([N] when the node holds no entry). *)
+
+val link_is_alive : t -> int -> bool
+(** Effective link health: not failed and both endpoints alive. *)
+
+val node_is_alive : t -> int -> bool
+
+val active_serial_at_source : t -> conn:int -> int option
+(** Which channel currently carries the connection's traffic: the lowest
+    serial in state [P] at the source node (the data plane sends on it). *)
+
+val rcc_messages_sent : t -> int
+(** Total RCC messages transmitted (including retransmissions). *)
+
+val control_messages_delivered : t -> int

@@ -1,0 +1,1 @@
+lib/eval/ablations.ml: Bcp List Net Printf Recovery_delay Report Rfast Rtchan Setup Sim Workload

@@ -1,0 +1,1 @@
+lib/eval/baselines.ml: Bcp Failures Int List Net Option Printf Report Rfast Routing Rtchan Setup Sim Workload

@@ -1,0 +1,1 @@
+lib/eval/baselines.mli: Bcp Report Rfast Setup

@@ -1,0 +1,1 @@
+lib/eval/message_loss.ml: Bcp Int List Net Option Printf Report Rtchan Setup Sim

@@ -1,0 +1,1 @@
+lib/eval/message_loss.mli: Report Setup

@@ -1,0 +1,1 @@
+lib/eval/multi_failure.ml: Bcp Failures List Printf Report Setup Sim

@@ -1,0 +1,1 @@
+lib/eval/multi_failure.mli: Report Setup

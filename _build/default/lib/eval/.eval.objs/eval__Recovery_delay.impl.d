@@ -1,0 +1,1 @@
+lib/eval/recovery_delay.ml: Bcp Failures Float List Net Printf Rcc Report Rtchan Sim

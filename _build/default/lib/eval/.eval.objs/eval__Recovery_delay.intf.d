@@ -1,0 +1,1 @@
+lib/eval/recovery_delay.mli: Bcp Report

@@ -1,0 +1,1 @@
+lib/eval/reliability_cmp.ml: List Printf Reliability Report

@@ -1,0 +1,1 @@
+lib/eval/reliability_cmp.mli: Report

@@ -1,0 +1,1 @@
+lib/eval/rfast.ml: Bcp Failures Hashtbl Int List Net Option Printf Report Rtchan Setup Sim Workload

@@ -1,0 +1,1 @@
+lib/eval/rfast.mli: Bcp Report Setup

@@ -1,0 +1,1 @@
+lib/eval/sensitivity.ml: Bcp List Net Printf Rcc Report Rfast Rtchan Setup Sim Workload

@@ -1,0 +1,1 @@
+lib/eval/sensitivity.mli: Bcp Rcc Report Setup

@@ -1,0 +1,1 @@
+lib/eval/setup.ml: Bcp List Net Sim Workload

@@ -1,0 +1,1 @@
+lib/eval/setup.mli: Bcp Net Workload

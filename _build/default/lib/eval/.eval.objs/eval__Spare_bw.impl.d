@@ -1,0 +1,1 @@
+lib/eval/spare_bw.ml: Bcp List Option Printf Report Setup Sim Workload

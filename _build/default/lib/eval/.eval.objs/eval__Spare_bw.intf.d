@@ -1,0 +1,1 @@
+lib/eval/spare_bw.mli: Report Setup

@@ -1,0 +1,142 @@
+let priority_activation ?(seed = 42) ?(double_sample = 300)
+    ?(degrees = [ 1; 3; 5; 6 ]) network =
+  let est = Setup.build_mixed ~seed ~backups:1 ~degrees network in
+  let r =
+    Report.make
+      ~title:
+        (Printf.sprintf
+           "Priority-based activation under double-node failures — %s (spare %s)"
+           (Setup.network_label network)
+           (Report.pct est.Setup.spare))
+      ~columns:(List.map (fun d -> Printf.sprintf "mux=%d" d) degrees)
+  in
+  let model = Rfast.Double_node (Some double_sample) in
+  let arrival = Rfast.measure ~seed est.Setup.ns model in
+  let rng = Sim.Prng.create (seed + 1) in
+  let priority =
+    Rfast.measure ~seed ~order:(Bcp.Recovery.By_priority) est.Setup.ns model
+  in
+  let shuffled =
+    Rfast.measure ~seed ~order:(Bcp.Recovery.Shuffled rng) est.Setup.ns model
+  in
+  let row label m =
+    Report.add_row r ~label
+      ~cells:(List.map (fun d -> Report.pct (Rfast.r_fast_deg m d)) degrees)
+  in
+  row "arrival order" arrival;
+  row "random order" shuffled;
+  row "priority order" priority;
+  r
+
+let inhomogeneous ?(seed = 42) ?(count = 3000) ?(hotspot_fraction = 0.35)
+    network =
+  let degree = 5 in
+  let topo = Setup.topology_of network in
+  let hotspots = [ 27; 28; 35; 36 ] (* the central 2x2 of an 8x8 grid *) in
+  let requests rng =
+    Workload.Generator.hotspot rng topo ~hotspots ~fraction:hotspot_fraction
+      ~count ~mux_degree:degree ~backups:1
+  in
+  let proposed_ns = Bcp.Netstate.create (Setup.topology_of network) () in
+  let proposed =
+    Setup.establish_all ~seed proposed_ns (requests (Sim.Prng.create seed))
+  in
+  let per_link =
+    Rtchan.Resource.total_spare (Bcp.Netstate.resources proposed.Setup.ns)
+    /. float_of_int (Net.Topology.num_links topo)
+  in
+  let brute_ns =
+    Bcp.Netstate.create
+      ~policy:(Bcp.Netstate.Brute_force per_link)
+      (Setup.topology_of network) ()
+  in
+  let brute =
+    Setup.establish_all ~seed brute_ns (requests (Sim.Prng.create seed))
+  in
+  let r =
+    Report.make
+      ~title:
+        (Printf.sprintf
+           "Hot-spot traffic (%d conns, %.0f%% to center, mux=%d) — %s"
+           count (100.0 *. hotspot_fraction) degree
+           (Setup.network_label network))
+      ~columns:[ "proposed"; "brute-force (same avg spare)" ]
+  in
+  Report.add_row r ~label:"Spare bandwidth"
+    ~cells:[ Report.pct proposed.Setup.spare; Report.pct brute.Setup.spare ];
+  List.iter
+    (fun model ->
+      Report.add_row r ~label:(Rfast.model_label model)
+        ~cells:
+          [
+            Report.pct (Rfast.r_fast (Rfast.measure ~seed proposed.Setup.ns model));
+            Report.pct (Rfast.r_fast (Rfast.measure ~seed brute.Setup.ns model));
+          ])
+    [ Rfast.Single_link; Rfast.Single_node ];
+  r
+
+let scheme_coverage ?(seed = 5) ns =
+  let topo = Bcp.Netstate.topology ns in
+  let rng = Sim.Prng.create seed in
+  let link = Sim.Prng.int rng (Net.Topology.num_links topo) in
+  let r =
+    Report.make
+      ~title:(Printf.sprintf "Scheme comparison on failure of link %d" link)
+      ~columns:
+        [ "RCC msgs"; "ctrl delivered"; "src informed"; "dst informed"; "resumed" ]
+  in
+  List.iter
+    (fun scheme ->
+      let config = { Bcp.Protocol.default_config with scheme } in
+      let sim = Bcp.Simnet.create ~config ns in
+      Bcp.Simnet.fail_link sim ~at:0.01 link;
+      Bcp.Simnet.run ~until:0.1 sim;
+      Bcp.Simnet.finalize sim;
+      let recs =
+        List.filter (fun rc -> not rc.Bcp.Simnet.excluded) (Bcp.Simnet.records sim)
+      in
+      let n = List.length recs in
+      let count f = List.length (List.filter f recs) in
+      Report.add_row r ~label:(Recovery_delay.scheme_label scheme)
+        ~cells:
+          [
+            string_of_int (Bcp.Simnet.rcc_messages_sent sim);
+            string_of_int (Bcp.Simnet.control_messages_delivered sim);
+            Printf.sprintf "%d/%d" (count (fun rc -> rc.Bcp.Simnet.src_informed <> None)) n;
+            Printf.sprintf "%d/%d" (count (fun rc -> rc.Bcp.Simnet.dst_informed <> None)) n;
+            Printf.sprintf "%d/%d" (count (fun rc -> rc.Bcp.Simnet.resumed_at <> None)) n;
+          ])
+    [ Bcp.Protocol.Scheme1; Bcp.Protocol.Scheme2; Bcp.Protocol.Scheme3 ];
+  r
+
+let backup_routing ?(seed = 42) ?(degrees = [ 1; 3; 5; 6 ]) network =
+  let r =
+    Report.make
+      ~title:
+        (Printf.sprintf
+           "Backup routing: shortest-path vs spare-increment-minimising — %s"
+           (Setup.network_label network))
+      ~columns:(List.map (fun d -> Printf.sprintf "mux=%d" d) degrees)
+  in
+  let run strategy =
+    List.map
+      (fun degree ->
+        let est =
+          Setup.build ~seed ~backups:1 ~mux_degree:degree
+            ~backup_routing:strategy network
+        in
+        let m = Rfast.measure ~seed est.Setup.ns Rfast.Single_link in
+        (est.Setup.spare, Rfast.r_fast m))
+      degrees
+  in
+  let shortest = run Bcp.Establish.Min_hops in
+  let sparing = run Bcp.Establish.Min_spare_increment in
+  Report.add_row r ~label:"spare %, shortest-path"
+    ~cells:(List.map (fun (s, _) -> Report.pct s) shortest);
+  Report.add_row r ~label:"spare %, min-spare routing"
+    ~cells:(List.map (fun (s, _) -> Report.pct s) sparing);
+  Report.add_row r ~label:"R_fast 1-link, shortest-path"
+    ~cells:(List.map (fun (_, rf) -> Report.pct rf) shortest);
+  Report.add_row r ~label:"R_fast 1-link, min-spare routing"
+    ~cells:(List.map (fun (_, rf) -> Report.pct rf) sparing);
+  r

@@ -1,0 +1,206 @@
+type comparison = {
+  model : Rfast.model;
+  bcp_fast : float;
+  bcp_total : float;
+  reactive : float;
+  bcp_spare : float;
+  reactive_spare : float;
+}
+
+let scenarios_of ?(seed = 7) ns model =
+  let topo = Bcp.Netstate.topology ns in
+  match model with
+  | Rfast.Single_link -> Failures.Scenario.all_single_links topo
+  | Rfast.Single_node -> Failures.Scenario.all_single_nodes topo
+  | Rfast.Double_node None -> Failures.Scenario.all_double_nodes topo
+  | Rfast.Double_node (Some n) ->
+    Failures.Scenario.sampled_double_nodes (Sim.Prng.create seed) topo ~count:n
+
+let failed_components sc = sc.Failures.Scenario.components
+
+(* Try to route a replacement channel for [conn] on the surviving
+   capacity, avoiding [failed]; reserve it if found.  Returns the
+   reserved path. *)
+let reroute ns ~failed conn =
+  let topo = Bcp.Netstate.topology ns in
+  let res = Bcp.Netstate.resources ns in
+  let bw = Bcp.Dconn.bandwidth conn in
+  let failed_set =
+    List.fold_left
+      (fun s c -> Net.Component.Set.add c s)
+      Net.Component.Set.empty failed
+  in
+  let link_ok l =
+    (not (Net.Component.Set.mem (Net.Component.Link l.Net.Topology.id) failed_set))
+    && Rtchan.Resource.can_reserve_primary res l.Net.Topology.id bw
+  in
+  let node_ok v = not (Net.Component.Set.mem (Net.Component.Node v) failed_set) in
+  match
+    Routing.Shortest.shortest_hops topo ~src:conn.Bcp.Dconn.src
+      ~dst:conn.Bcp.Dconn.dst
+  with
+  | None -> None
+  | Some shortest ->
+    let budget = Rtchan.Qos.max_hops conn.Bcp.Dconn.qos ~shortest in
+    (match
+       Routing.Shortest.shortest_path ~link_ok ~node_ok ~max_hops:budget topo
+         ~src:conn.Bcp.Dconn.src ~dst:conn.Bcp.Dconn.dst
+     with
+    | None -> None
+    | Some p ->
+      if Rtchan.Resource.reserve_primary_path res p bw then Some p else None)
+
+(* Run one scenario in "release failed primaries, re-route, undo" style so
+   the established network is untouched between scenarios. *)
+let scenario_reactive ns ~failed =
+  let res = Bcp.Netstate.resources ns in
+  let considered, _excluded = Bcp.Recovery.affected_conns ns ~failed in
+  let ordered =
+    List.sort (fun a b -> Int.compare a.Bcp.Dconn.id b.Bcp.Dconn.id) considered
+  in
+  (* The broken channels' reservations are reclaimed before re-routing
+     (soft-state teardown happens first in any reactive scheme). *)
+  List.iter
+    (fun conn ->
+      Rtchan.Resource.release_primary_path res
+        conn.Bcp.Dconn.primary.Rtchan.Channel.path
+        (Bcp.Dconn.bandwidth conn))
+    ordered;
+  let rerouted =
+    List.filter_map (fun conn -> Option.map (fun p -> (conn, p)) (reroute ns ~failed conn))
+      ordered
+  in
+  (* Undo: release replacements, restore the original reservations. *)
+  List.iter
+    (fun (conn, p) ->
+      Rtchan.Resource.release_primary_path res p (Bcp.Dconn.bandwidth conn))
+    rerouted;
+  List.iter
+    (fun conn ->
+      ignore
+        (Rtchan.Resource.reserve_primary_path res
+           conn.Bcp.Dconn.primary.Rtchan.Channel.path
+           (Bcp.Dconn.bandwidth conn)))
+    ordered;
+  (List.length ordered, List.length rerouted)
+
+let reactive_recovery_rate ?seed ns model =
+  let affected = ref 0 and recovered = ref 0 in
+  List.iter
+    (fun sc ->
+      let a, r = scenario_reactive ns ~failed:(failed_components sc) in
+      affected := !affected + a;
+      recovered := !recovered + r)
+    (scenarios_of ?seed ns model);
+  if !affected = 0 then 100.0 else Sim.Stats.ratio !recovered !affected
+
+(* BCP slow path: connections whose fast recovery failed re-establish from
+   scratch on the remaining capacity (old primary released; spare pools
+   stay reserved for the surviving backups). *)
+let scenario_bcp_total ns ~failed =
+  let res = Bcp.Netstate.resources ns in
+  let r = Bcp.Recovery.simulate ns ~failed in
+  let losers =
+    List.filter_map
+      (fun (conn_id, outcome) ->
+        match outcome with
+        | Bcp.Recovery.Recovered _ -> None
+        | Bcp.Recovery.Mux_failure | Bcp.Recovery.No_healthy_backup ->
+          Bcp.Netstate.find ns conn_id)
+      r.Bcp.Recovery.outcomes
+  in
+  List.iter
+    (fun conn ->
+      Rtchan.Resource.release_primary_path res
+        conn.Bcp.Dconn.primary.Rtchan.Channel.path
+        (Bcp.Dconn.bandwidth conn))
+    losers;
+  let rerouted =
+    List.filter_map (fun conn -> Option.map (fun p -> (conn, p)) (reroute ns ~failed conn))
+      losers
+  in
+  List.iter
+    (fun (conn, p) ->
+      Rtchan.Resource.release_primary_path res p (Bcp.Dconn.bandwidth conn))
+    rerouted;
+  List.iter
+    (fun conn ->
+      ignore
+        (Rtchan.Resource.reserve_primary_path res
+           conn.Bcp.Dconn.primary.Rtchan.Channel.path
+           (Bcp.Dconn.bandwidth conn)))
+    losers;
+  (r.Bcp.Recovery.affected, r.Bcp.Recovery.recovered, List.length rerouted)
+
+let bcp_total_recovery_rate ?seed ns model =
+  let affected = ref 0 and fast = ref 0 and slow = ref 0 in
+  List.iter
+    (fun sc ->
+      let a, f, s = scenario_bcp_total ns ~failed:(failed_components sc) in
+      affected := !affected + a;
+      fast := !fast + f;
+      slow := !slow + s)
+    (scenarios_of ?seed ns model);
+  if !affected = 0 then (100.0, 100.0)
+  else
+    ( Sim.Stats.ratio !fast !affected,
+      Sim.Stats.ratio (!fast + !slow) !affected )
+
+let build_with ~seed ~backups ~mux_degree ~bandwidth network =
+  let topo = Setup.topology_of network in
+  let ns = Bcp.Netstate.create topo () in
+  let rng = Sim.Prng.create seed in
+  let requests =
+    Workload.Generator.shuffled rng
+      (Workload.Generator.all_pairs ~bandwidth ~backups ~mux_degree topo)
+  in
+  Setup.establish_all ~seed ns requests
+
+let compare ?(seed = 42) ?(double_sample = 300) ?(mux_degree = 3)
+    ?(bandwidth = 1.0) network =
+  (* The proposed scheme: one backup per connection. *)
+  let bcp = build_with ~seed ~backups:1 ~mux_degree ~bandwidth network in
+  (* Reactive: same demand, no backups, no spare. *)
+  let reactive = build_with ~seed ~backups:0 ~mux_degree:0 ~bandwidth network in
+  List.map
+    (fun model ->
+      let fast, total = bcp_total_recovery_rate ~seed bcp.Setup.ns model in
+      {
+        model;
+        bcp_fast = fast;
+        bcp_total = total;
+        reactive = reactive_recovery_rate ~seed reactive.Setup.ns model;
+        bcp_spare = bcp.Setup.spare;
+        reactive_spare = reactive.Setup.spare;
+      })
+    [ Rfast.Single_link; Rfast.Single_node; Rfast.Double_node (Some double_sample) ]
+
+let report network comparisons =
+  let r =
+    Report.make
+      ~title:
+        (Printf.sprintf
+           "BCP vs reactive re-establishment [BAN93] — %s"
+           (Setup.network_label network))
+      ~columns:
+        [
+          "BCP fast";
+          "BCP fast+slow";
+          "reactive";
+          "BCP spare";
+          "reactive spare";
+        ]
+  in
+  List.iter
+    (fun c ->
+      Report.add_row r ~label:(Rfast.model_label c.model)
+        ~cells:
+          [
+            Report.pct c.bcp_fast;
+            Report.pct c.bcp_total;
+            Report.pct c.reactive;
+            Report.pct c.bcp_spare;
+            Report.pct c.reactive_spare;
+          ])
+    comparisons;
+  r

@@ -1,0 +1,52 @@
+(** Alternative recovery strategies the paper compares against
+    qualitatively (Section 8), made quantitative.
+
+    {b Reactive re-establishment} ([BAN93]): no resources are reserved for
+    fault tolerance; after a failure every disrupted connection tries to
+    establish a brand-new channel from scratch on the surviving capacity.
+    Cheap when nothing fails, but recovery is neither guaranteed (capacity
+    contention, as in Figure 1) nor fast (full establishment round trip
+    instead of one activation message).
+
+    {b Slow-path re-establishment for BCP}: connections that lose every
+    backup also fall back to re-establishment; combining both gives the
+    total coverage of the proposed scheme. *)
+
+type comparison = {
+  model : Rfast.model;
+  bcp_fast : float;  (** R_fast of the proposed scheme *)
+  bcp_total : float;  (** fast + slow-path re-establishment *)
+  reactive : float;  (** recovery rate of reactive re-establishment *)
+  bcp_spare : float;  (** spare bandwidth %, proposed *)
+  reactive_spare : float;  (** always 0 *)
+}
+
+val reactive_recovery_rate :
+  ?seed:int ->
+  Bcp.Netstate.t ->
+  Rfast.model ->
+  float
+(** Recovery rate when every affected connection re-routes from scratch:
+    for each scenario, disrupted connections (end-node failures excluded)
+    release their old bandwidth and, in id order, attempt a fresh
+    admissible route avoiding the failed components within their original
+    QoS hop budget.  The network state is restored after each scenario. *)
+
+val bcp_total_recovery_rate :
+  ?seed:int -> Bcp.Netstate.t -> Rfast.model -> float * float
+(** (fast, fast+slow): fast recovery via backups plus re-establishment of
+    the connections whose backups all failed. *)
+
+val compare :
+  ?seed:int ->
+  ?double_sample:int ->
+  ?mux_degree:int ->
+  ?bandwidth:float ->
+  Setup.network ->
+  comparison list
+(** [bandwidth] (default 1.0 Mbps) scales the per-connection demand; at
+    higher loads the reactive scheme starts losing connections to capacity
+    contention (the Figure 1 situation) while BCP's planned spare keeps
+    its guarantee. *)
+
+val report : Setup.network -> comparison list -> Report.t

@@ -1,0 +1,65 @@
+type config = { backups : int; mux_degree : int }
+
+let default_configs =
+  [
+    { backups = 1; mux_degree = 1 };
+    { backups = 1; mux_degree = 3 };
+    { backups = 1; mux_degree = 6 };
+    { backups = 2; mux_degree = 6 };
+  ]
+
+let sweep ?(seed = 42) ?(ks = [ 1; 2; 3; 4; 5; 6; 7; 8 ])
+    ?(scenarios_per_k = 100) ?(configs = default_configs) network =
+  let built =
+    List.map
+      (fun c ->
+        let est =
+          Setup.build ~seed ~backups:c.backups ~mux_degree:c.mux_degree network
+        in
+        (c, est))
+      configs
+  in
+  let columns =
+    List.map
+      (fun (c, est) ->
+        if est.Setup.rejected > 0 then
+          Printf.sprintf "b=%d mux=%d (rej %d)" c.backups c.mux_degree
+            est.Setup.rejected
+        else Printf.sprintf "b=%d mux=%d" c.backups c.mux_degree)
+      built
+  in
+  let report =
+    Report.make
+      ~title:
+        (Printf.sprintf
+           "R_fast under k simultaneous link failures (%d scenarios per k) — %s"
+           scenarios_per_k
+           (Setup.network_label network))
+      ~columns
+  in
+  Report.add_row report ~label:"spare bandwidth"
+    ~cells:(List.map (fun (_, est) -> Report.pct est.Setup.spare) built);
+  List.iter
+    (fun k ->
+      let cells =
+        List.map
+          (fun (_, est) ->
+            let ns = est.Setup.ns in
+            let topo = Bcp.Netstate.topology ns in
+            let rng = Sim.Prng.create (seed + (1000 * k)) in
+            let affected = ref 0 and recovered = ref 0 in
+            for _ = 1 to scenarios_per_k do
+              let sc = Failures.Scenario.random_links rng topo ~count:k in
+              let r =
+                Bcp.Recovery.simulate ns ~failed:sc.Failures.Scenario.components
+              in
+              affected := !affected + r.Bcp.Recovery.affected;
+              recovered := !recovered + r.Bcp.Recovery.recovered
+            done;
+            Report.pct
+              (if !affected = 0 then 100.0 else Sim.Stats.ratio !recovered !affected))
+          built
+      in
+      Report.add_row report ~label:(Printf.sprintf "k = %d" k) ~cells)
+    ks;
+  report

@@ -1,0 +1,23 @@
+(** Extension experiment: R_fast under k simultaneous link failures.
+
+    The paper evaluates one- and two-component failures; this sweep shows
+    how coverage degrades as bursts grow, and how extra backups and small
+    multiplexing degrees buy resilience — quantifying the "tolerating
+    harsher failures" claim of Section 3.2. *)
+
+type config = {
+  backups : int;
+  mux_degree : int;
+}
+
+val sweep :
+  ?seed:int ->
+  ?ks:int list ->
+  ?scenarios_per_k:int ->
+  ?configs:config list ->
+  Setup.network ->
+  Report.t
+(** Rows = k (number of simultaneously failed links, default 1..8);
+    columns = protection configurations (default (1,1), (1,3), (1,6),
+    (2,6)); cells = R_fast over [scenarios_per_k] (default 100) sampled
+    scenarios. *)

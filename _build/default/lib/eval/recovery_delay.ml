@@ -1,0 +1,143 @@
+type stats = {
+  scheme : Bcp.Protocol.scheme;
+  scenarios : int;
+  samples : int;
+  unrecovered : int;
+  mean : float;
+  p50 : float;
+  p99 : float;
+  max : float;
+  mean_bound : float;
+  within_bound_pct : float;
+  rcc_sent : int;
+}
+
+let scheme_label = function
+  | Bcp.Protocol.Scheme1 -> "Scheme 1 (dst-initiated)"
+  | Bcp.Protocol.Scheme2 -> "Scheme 2 (src-initiated)"
+  | Bcp.Protocol.Scheme3 -> "Scheme 3 (hybrid)"
+
+let conn_bound ns conn d_max =
+  match Bcp.Netstate.find ns conn with
+  | None -> None
+  | Some c ->
+    let hops_of p = Net.Path.hops p in
+    let k =
+      List.fold_left
+        (fun m b -> max m (hops_of b.Bcp.Dconn.path))
+        (hops_of c.Bcp.Dconn.primary.Rtchan.Channel.path)
+        c.Bcp.Dconn.backups
+    in
+    let b = max 1 (List.length c.Bcp.Dconn.backups) in
+    Some (Rcc.Bounds.recovery_delay_bound ~k ~backups:b ~d_max)
+
+let measure ?(config = Bcp.Protocol.default_config) ?(seed = 11)
+    ?(scenario_count = 16) ?(node_failures = true) ns =
+  let topo = Bcp.Netstate.topology ns in
+  let rng = Sim.Prng.create seed in
+  let links =
+    Sim.Prng.sample_without_replacement rng scenario_count
+      (Net.Topology.num_links topo)
+  in
+  let nodes =
+    if node_failures then
+      Sim.Prng.sample_without_replacement rng
+        (max 1 (scenario_count / 4))
+        (Net.Topology.num_nodes topo)
+    else []
+  in
+  let scenarios =
+    List.map (fun l -> Failures.Scenario.single_link topo l) links
+    @ List.map (fun v -> Failures.Scenario.single_node topo v) nodes
+  in
+  let delays = Sim.Stats.Sample.create () in
+  let bounds = Sim.Stats.Running.create () in
+  let within = ref 0 and samples = ref 0 and unrecovered = ref 0 in
+  let rcc_sent = ref 0 in
+  let t_fail = 0.01 in
+  List.iter
+    (fun sc ->
+      let sim = Bcp.Simnet.create ~config ns in
+      Bcp.Simnet.inject sim ~at:t_fail sc;
+      (* Stop before the rejoin timers tear anything down. *)
+      Bcp.Simnet.run ~until:(t_fail +. (0.5 *. config.Bcp.Protocol.rejoin_timeout)) sim;
+      Bcp.Simnet.finalize sim;
+      rcc_sent := !rcc_sent + Bcp.Simnet.rcc_messages_sent sim;
+      List.iter
+        (fun r ->
+          if not r.Bcp.Simnet.excluded then begin
+            match (r.Bcp.Simnet.resumed_at, r.Bcp.Simnet.recovered_serial) with
+            | Some resumed, Some _ ->
+              let from_detection =
+                resumed -. r.Bcp.Simnet.failure_time
+                -. config.Bcp.Protocol.detection_latency
+              in
+              let from_detection = Float.max 0.0 from_detection in
+              Sim.Stats.Sample.add delays from_detection;
+              incr samples;
+              (match conn_bound ns r.Bcp.Simnet.conn config.Bcp.Protocol.rcc.Rcc.Transport.d_max with
+              | None -> ()
+              | Some b ->
+                Sim.Stats.Running.add bounds b;
+                if from_detection <= b +. 1e-12 then incr within)
+            | _ -> incr unrecovered
+          end)
+        (Bcp.Simnet.records sim))
+    scenarios;
+  {
+    scheme = config.Bcp.Protocol.scheme;
+    scenarios = List.length scenarios;
+    samples = !samples;
+    unrecovered = !unrecovered;
+    mean = (if !samples = 0 then 0.0 else Sim.Stats.Sample.mean delays);
+    p50 = (if !samples = 0 then 0.0 else Sim.Stats.Sample.median delays);
+    p99 = (if !samples = 0 then 0.0 else Sim.Stats.Sample.percentile delays 99.0);
+    max = (if !samples = 0 then 0.0 else Sim.Stats.Sample.max delays);
+    mean_bound = Sim.Stats.Running.mean bounds;
+    within_bound_pct = Sim.Stats.ratio !within !samples;
+    rcc_sent = !rcc_sent;
+  }
+
+let ms v = Printf.sprintf "%.3f ms" (1000.0 *. v)
+
+let report stats_list =
+  let r =
+    Report.make ~title:"Failure-recovery delay (measured from detection)"
+      ~columns:
+        [
+          "samples";
+          "unrecovered";
+          "mean";
+          "p50";
+          "p99";
+          "max";
+          "mean bound";
+          "within bound";
+        ]
+  in
+  List.iter
+    (fun s ->
+      Report.add_row r ~label:(scheme_label s.scheme)
+        ~cells:
+          [
+            string_of_int s.samples;
+            string_of_int s.unrecovered;
+            ms s.mean;
+            ms s.p50;
+            ms s.p99;
+            ms s.max;
+            ms s.mean_bound;
+            Report.pct s.within_bound_pct;
+          ])
+    stats_list;
+  r
+
+let compare_schemes ?(seed = 11) ?(scenario_count = 8) ns =
+  let stats =
+    List.map
+      (fun scheme ->
+        let config = { Bcp.Protocol.default_config with scheme } in
+        measure ~config ~seed ~scenario_count ~node_failures:false ns)
+      [ Bcp.Protocol.Scheme1; Bcp.Protocol.Scheme2; Bcp.Protocol.Scheme3 ]
+  in
+  report stats

@@ -1,0 +1,76 @@
+type network = Torus8 | Mesh8
+
+let topology_of = function
+  | Torus8 -> Net.Builders.torus ~rows:8 ~cols:8 ~capacity:200.0
+  | Mesh8 -> Net.Builders.mesh ~rows:8 ~cols:8 ~capacity:300.0
+
+let network_label = function
+  | Torus8 -> "8x8 torus (200 Mbps links)"
+  | Mesh8 -> "8x8 mesh (300 Mbps links)"
+
+type establishment = {
+  ns : Bcp.Netstate.t;
+  established : int;
+  rejected : int;
+  load : float;
+  spare : float;
+}
+
+let establish_all ?(seed = 42) ?policy ?backup_routing ?(progress_every = 250) ?on_progress ns requests =
+  (* Deterministic lowest-link-id tie-breaking matches the paper's plain
+     sequential shortest-path routing and its reported spare levels;
+     [seed] only shuffles the request order (done by the caller). *)
+  ignore seed;
+  ignore policy;
+  let established = ref 0 and rejected = ref 0 in
+  List.iteri
+    (fun i (r : Workload.Generator.request) ->
+      let req =
+        {
+          Bcp.Establish.src = r.Workload.Generator.src;
+          dst = r.dst;
+          traffic = r.traffic;
+          qos = r.qos;
+          backups = r.backups;
+          mux_degree = r.mux_degree;
+        }
+      in
+      (match Bcp.Establish.establish ?backup_routing ns ~conn_id:i req with
+      | Ok _ -> incr established
+      | Error _ -> incr rejected);
+      match on_progress with
+      | Some f when (i + 1) mod progress_every = 0 ->
+        f ~established:!established ~load:(Bcp.Netstate.network_load ns)
+          ~spare:(Bcp.Netstate.spare_fraction ns)
+      | _ -> ())
+    requests;
+  {
+    ns;
+    established = !established;
+    rejected = !rejected;
+    load = Bcp.Netstate.network_load ns;
+    spare = Bcp.Netstate.spare_fraction ns;
+  }
+
+let build ?(seed = 42) ?(backups = 1) ?(mux_degree = 1) ?(lambda = 1e-4)
+    ?(policy = Bcp.Netstate.Multiplexed) ?backup_routing network =
+  let topo = topology_of network in
+  let ns = Bcp.Netstate.create ~lambda ~policy topo () in
+  let rng = Sim.Prng.create seed in
+  let requests =
+    Workload.Generator.shuffled rng
+      (Workload.Generator.all_pairs ~backups ~mux_degree topo)
+  in
+  establish_all ~seed ?backup_routing ns requests
+
+let build_mixed ?(seed = 42) ?(backups = 1) ?(degrees = [ 1; 3; 5; 6 ])
+    ?(lambda = 1e-4) network =
+  let topo = topology_of network in
+  let ns = Bcp.Netstate.create ~lambda topo () in
+  let rng = Sim.Prng.create seed in
+  let requests =
+    Workload.Generator.with_mux_mix ~degrees
+      (Workload.Generator.shuffled rng
+         (Workload.Generator.all_pairs ~backups topo))
+  in
+  establish_all ~seed ns requests

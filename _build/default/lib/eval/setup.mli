@@ -1,0 +1,55 @@
+(** Shared experiment scaffolding: the paper's two evaluation networks and
+    the standard all-pairs establishment pass (Section 7 preamble). *)
+
+type network = Torus8 | Mesh8
+
+val topology_of : network -> Net.Topology.t
+(** 8×8 torus with 200 Mbps links, or 8×8 mesh with 300 Mbps links. *)
+
+val network_label : network -> string
+
+type establishment = {
+  ns : Bcp.Netstate.t;
+  established : int;
+  rejected : int;
+  load : float;  (** network load, % *)
+  spare : float;  (** average spare-bandwidth reservation, % *)
+}
+
+val establish_all :
+  ?seed:int ->
+  ?policy:Bcp.Netstate.spare_policy ->
+  ?backup_routing:Bcp.Establish.backup_routing ->
+  ?progress_every:int ->
+  ?on_progress:(established:int -> load:float -> spare:float -> unit) ->
+  Bcp.Netstate.t ->
+  Workload.Generator.request list ->
+  establishment
+(** Establish the requests in order (callers shuffle beforehand if
+    desired), reporting progress every [progress_every] (default 250)
+    connections.  [seed] feeds the
+    routing tie-breaker; [policy] is only documentation here (the netstate
+    carries it).  Rejected requests are skipped and counted. *)
+
+val build :
+  ?seed:int ->
+  ?backups:int ->
+  ?mux_degree:int ->
+  ?lambda:float ->
+  ?policy:Bcp.Netstate.spare_policy ->
+  ?backup_routing:Bcp.Establish.backup_routing ->
+  network ->
+  establishment
+(** The paper's standard pass: all 4032 ordered-pair connections, 1 Mbps
+    each, hop slack 2, shuffled with [seed] (default 42), uniform backup
+    count (default 1) and multiplexing degree (default 1). *)
+
+val build_mixed :
+  ?seed:int ->
+  ?backups:int ->
+  ?degrees:int list ->
+  ?lambda:float ->
+  network ->
+  establishment
+(** Section 7.3's mixed-degree pass (default degrees 1/3/5/6 round-robin
+    over the shuffled request list). *)

@@ -1,0 +1,1 @@
+lib/failures/process.ml: Float List Net Sim

@@ -1,0 +1,1 @@
+lib/failures/process.mli: Net Sim

@@ -1,0 +1,1 @@
+lib/failures/scenario.ml: Format Hashtbl List Net Printf Sim String

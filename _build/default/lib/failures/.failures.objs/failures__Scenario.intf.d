@@ -1,0 +1,1 @@
+lib/failures/scenario.mli: Format Net Sim

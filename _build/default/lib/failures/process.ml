@@ -1,0 +1,42 @@
+type event = {
+  time : float;
+  component : Net.Component.t;
+  kind : [ `Fail | `Repair ];
+}
+
+let components_of topo =
+  List.init (Net.Topology.num_nodes topo) (fun v -> Net.Component.Node v)
+  @ List.map (fun l -> Net.Component.Link l.Net.Topology.id) (Net.Topology.links topo)
+
+let timeline_for rng ~horizon ~mtbf ~mttr component =
+  let rec go t acc =
+    let fail_at = t +. Sim.Prng.exponential rng ~mean:mtbf in
+    if fail_at > horizon then List.rev acc
+    else begin
+      let acc = { time = fail_at; component; kind = `Fail } :: acc in
+      match mttr with
+      | None -> List.rev acc (* crash-only: stays dead *)
+      | Some mttr ->
+        let repair_at = fail_at +. Sim.Prng.exponential rng ~mean:mttr in
+        if repair_at > horizon then List.rev acc
+        else go repair_at ({ time = repair_at; component; kind = `Repair } :: acc)
+    end
+  in
+  go 0.0 []
+
+let check ~horizon ~mtbf =
+  if horizon <= 0.0 then invalid_arg "Process: non-positive horizon";
+  if mtbf <= 0.0 then invalid_arg "Process: non-positive mtbf"
+
+let generate rng topo ~horizon ~mtbf ~mttr =
+  check ~horizon ~mtbf;
+  if mttr <= 0.0 then invalid_arg "Process.generate: non-positive mttr";
+  components_of topo
+  |> List.concat_map (timeline_for rng ~horizon ~mtbf ~mttr:(Some mttr))
+  |> List.sort (fun a b -> Float.compare a.time b.time)
+
+let failures_only rng topo ~horizon ~mtbf =
+  check ~horizon ~mtbf;
+  components_of topo
+  |> List.concat_map (timeline_for rng ~horizon ~mtbf ~mttr:None)
+  |> List.sort (fun a b -> Float.compare a.time b.time)

@@ -1,0 +1,31 @@
+(** Stochastic failure/repair processes for the event-driven simulator.
+
+    Components fail following a Poisson process (the paper's Section 3.1
+    failure model) and are repaired after an exponentially distributed
+    outage, matching the Markov models of Figure 3. *)
+
+type event = {
+  time : float;
+  component : Net.Component.t;
+  kind : [ `Fail | `Repair ];
+}
+
+val generate :
+  Sim.Prng.t ->
+  Net.Topology.t ->
+  horizon:float ->
+  mtbf:float ->
+  mttr:float ->
+  event list
+(** Fail/repair timeline for every component over \[0, horizon\], sorted
+    by time.  [mtbf] is the mean time between failures of one component;
+    [mttr] the mean outage length.  Components alternate healthy/failed
+    states independently. *)
+
+val failures_only :
+  Sim.Prng.t ->
+  Net.Topology.t ->
+  horizon:float ->
+  mtbf:float ->
+  event list
+(** Crash-only timeline (no repair events). *)

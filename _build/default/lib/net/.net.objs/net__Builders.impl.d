@@ -1,0 +1,1 @@
+lib/net/builders.ml: Array Hashtbl Sim Topology

@@ -1,0 +1,1 @@
+lib/net/builders.mli: Sim Topology

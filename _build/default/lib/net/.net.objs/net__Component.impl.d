@@ -1,0 +1,1 @@
+lib/net/component.ml: Format Int Set

@@ -1,0 +1,1 @@
+lib/net/component.mli: Format Set

@@ -1,0 +1,1 @@
+lib/net/path.ml: Array Component Format List Printf String Topology

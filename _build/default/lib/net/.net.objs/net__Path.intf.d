@@ -1,0 +1,1 @@
+lib/net/path.mli: Component Format Topology

@@ -1,0 +1,32 @@
+(** Standard topology constructors.
+
+    The paper's evaluation uses an 8×8 torus (wrapped mesh, 200 Mbps
+    links) and an 8×8 mesh (300 Mbps links); the remaining shapes support
+    the test suite, the scalability discussion (Section 6: sparsely- vs
+    highly-connected networks), and the examples.  All builders create two
+    simplex links per neighbour pair, one in each direction. *)
+
+val torus : rows:int -> cols:int -> capacity:float -> Topology.t
+(** Wrapped mesh.  Wrap links are omitted along a dimension of size < 3
+    (they would duplicate the existing neighbour links). *)
+
+val mesh : rows:int -> cols:int -> capacity:float -> Topology.t
+(** Grid without wrap-around. *)
+
+val ring : nodes:int -> capacity:float -> Topology.t
+val line : nodes:int -> capacity:float -> Topology.t
+val star : leaves:int -> capacity:float -> Topology.t
+(** Node 0 is the hub. *)
+
+val complete : nodes:int -> capacity:float -> Topology.t
+val hypercube : dim:int -> capacity:float -> Topology.t
+
+val random_connected :
+  Sim.Prng.t -> nodes:int -> extra_edges:int -> capacity:float -> Topology.t
+(** Random spanning tree plus [extra_edges] distinct random chords:
+    connected by construction. *)
+
+val grid_coord : cols:int -> int -> int * int
+(** [(row, col)] of a node id in a [rows × cols] grid/torus numbering. *)
+
+val grid_node : cols:int -> row:int -> col:int -> int

@@ -1,0 +1,33 @@
+type t =
+  | Node of int
+  | Link of int
+
+let tag = function Node _ -> 0 | Link _ -> 1
+let index = function Node i -> i | Link i -> i
+
+let compare a b =
+  match Int.compare (tag a) (tag b) with
+  | 0 -> Int.compare (index a) (index b)
+  | c -> c
+
+let equal a b = compare a b = 0
+let hash t = (tag t * 0x1000003) lxor index t
+let is_node = function Node _ -> true | Link _ -> false
+let is_link = function Link _ -> true | Node _ -> false
+
+let pp ppf = function
+  | Node i -> Format.fprintf ppf "node:%d" i
+  | Link i -> Format.fprintf ppf "link:%d" i
+
+let to_string t = Format.asprintf "%a" pp t
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+let inter_card a b =
+  (* Iterate the smaller set, probe the larger. *)
+  let small, large = if Set.cardinal a <= Set.cardinal b then (a, b) else (b, a) in
+  Set.fold (fun c acc -> if Set.mem c large then acc + 1 else acc) small 0

@@ -1,0 +1,23 @@
+(** Network components: the unit of failure in the paper's model.
+
+    A component is either a node or a (simplex) link.  The paper counts
+    both kinds when measuring path overlap ([sc(M_i, M_j)]) and when
+    computing channel failure rates ([c(M)]·λ). *)
+
+type t =
+  | Node of int
+  | Link of int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val is_node : t -> bool
+val is_link : t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Sets of components, used for path overlap computations. *)
+module Set : Set.S with type elt = t
+
+val inter_card : Set.t -> Set.t -> int
+(** Cardinality of the intersection, without building it. *)

@@ -1,0 +1,1 @@
+lib/rcc/bounds.mli:

@@ -1,0 +1,1 @@
+lib/rcc/control.ml: Format Net

@@ -1,0 +1,1 @@
+lib/rcc/control.mli: Format Net

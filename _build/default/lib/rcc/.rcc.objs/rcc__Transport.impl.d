@@ -1,0 +1,1 @@
+lib/rcc/transport.ml: Control Float Hashtbl List Queue Sim

@@ -1,0 +1,1 @@
+lib/rcc/transport.mli: Control Sim

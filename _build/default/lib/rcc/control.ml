@@ -1,0 +1,28 @@
+type t =
+  | Failure_report of { channel : int; component : Net.Component.t }
+  | Activation of { conn : int; serial : int; channel : int }
+  | Mux_failure_report of { channel : int; link : int }
+
+(* Channel id (4) + type tag (1) + payload; sizes are nominal but fixed so
+   the S_max aggregation bound is meaningful. *)
+let size_bytes = function
+  | Failure_report _ -> 16
+  | Activation _ -> 16
+  | Mux_failure_report _ -> 16
+
+let channel_of = function
+  | Failure_report { channel; _ } -> channel
+  | Activation { channel; _ } -> channel
+  | Mux_failure_report { channel; _ } -> channel
+
+let pp ppf = function
+  | Failure_report { channel; component } ->
+    Format.fprintf ppf "failure-report(ch=%d, %a)" channel Net.Component.pp
+      component
+  | Activation { conn; serial; channel } ->
+    Format.fprintf ppf "activation(conn=%d, serial=%d, ch=%d)" conn serial
+      channel
+  | Mux_failure_report { channel; link } ->
+    Format.fprintf ppf "mux-failure(ch=%d, link=%d)" channel link
+
+let equal a b = a = b

@@ -1,0 +1,155 @@
+type params = {
+  s_max : int;
+  r_max : float;
+  d_max : float;
+  retransmit_timeout : float;
+  max_retransmits : int;
+}
+
+let default_params =
+  {
+    s_max = 8192;
+    r_max = 10_000.0;
+    d_max = 1e-3;
+    retransmit_timeout = 4e-3;
+    max_retransmits = 8;
+  }
+
+type rcc_message = { seq : int; payload : Control.t list; bytes : int }
+
+type t = {
+  engine : Sim.Engine.t;
+  params : params;
+  link : int;
+  deliver : Control.t -> unit;
+  mutable alive : bool;
+  queue : Control.t Queue.t;
+  pending : (Control.t, unit) Hashtbl.t; (* dedup of queued messages *)
+  unacked : (int, rcc_message) Hashtbl.t; (* awaiting hop-by-hop ack *)
+  seen : (int, unit) Hashtbl.t; (* receiver-side dedup *)
+  mutable next_seq : int;
+  mutable next_eligible : float;
+  mutable pump_handle : Sim.Engine.handle option;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+}
+
+let create engine ~params ~link ~deliver =
+  if params.s_max <= 0 then invalid_arg "Transport.create: s_max must be positive";
+  if params.r_max <= 0.0 then invalid_arg "Transport.create: r_max must be positive";
+  if params.d_max <= 0.0 then invalid_arg "Transport.create: d_max must be positive";
+  {
+    engine;
+    params;
+    link;
+    deliver;
+    alive = true;
+    queue = Queue.create ();
+    pending = Hashtbl.create 64;
+    unacked = Hashtbl.create 16;
+    seen = Hashtbl.create 256;
+    next_seq = 0;
+    next_eligible = 0.0;
+    pump_handle = None;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+  }
+
+let link t = t.link
+let alive t = t.alive
+let queue_length t = Queue.length t.queue
+let in_flight t = Hashtbl.length t.unacked
+let stats_sent t = t.sent
+let stats_delivered t = t.delivered
+let stats_dropped t = t.dropped
+
+(* Delivery latency: a fraction of the worst case that grows with the RCC
+   message size, so the D_max bound is respected but not trivially equal. *)
+let delivery_delay t bytes =
+  let fill = float_of_int bytes /. float_of_int t.params.s_max in
+  t.params.d_max *. (0.25 +. (0.75 *. Float.min 1.0 fill))
+
+let receive t (m : rcc_message) =
+  if not (Hashtbl.mem t.seen m.seq) then begin
+    Hashtbl.add t.seen m.seq ();
+    List.iter
+      (fun c ->
+        t.delivered <- t.delivered + 1;
+        t.deliver c)
+      m.payload
+  end
+
+let rec transmit t (m : rcc_message) ~attempt =
+  t.sent <- t.sent + 1;
+  if t.alive then begin
+    let delay = delivery_delay t m.bytes in
+    ignore
+      (Sim.Engine.schedule_after t.engine ~delay (fun () ->
+           if t.alive then begin
+             receive t m;
+             (* Hop-by-hop acknowledgment on the reverse direction. *)
+             let ack_delay = t.params.d_max *. 0.25 in
+             ignore
+               (Sim.Engine.schedule_after t.engine ~delay:ack_delay (fun () ->
+                    if t.alive then Hashtbl.remove t.unacked m.seq))
+           end))
+  end;
+  (* Retransmission timer runs regardless of link state: the paper's BCP
+     daemon "resends the unacknowledged RCC message". *)
+  ignore
+    (Sim.Engine.schedule_after t.engine ~delay:t.params.retransmit_timeout
+       (fun () ->
+         match Hashtbl.find_opt t.unacked m.seq with
+         | None -> ()
+         | Some _ ->
+           if attempt >= t.params.max_retransmits then begin
+             Hashtbl.remove t.unacked m.seq;
+             t.dropped <- t.dropped + 1
+           end
+           else transmit t m ~attempt:(attempt + 1)))
+
+let pack t =
+  (* Greedy FIFO packing up to s_max bytes, at least one message. *)
+  let rec take acc bytes =
+    match Queue.peek_opt t.queue with
+    | None -> (List.rev acc, bytes)
+    | Some c ->
+      let sz = Control.size_bytes c in
+      if acc <> [] && bytes + sz > t.params.s_max then (List.rev acc, bytes)
+      else begin
+        ignore (Queue.pop t.queue);
+        Hashtbl.remove t.pending c;
+        take (c :: acc) (bytes + sz)
+      end
+  in
+  take [] 0
+
+let rec pump t =
+  t.pump_handle <- None;
+  if not (Queue.is_empty t.queue) then begin
+    let payload, bytes = pack t in
+    let m = { seq = t.next_seq; payload; bytes } in
+    t.next_seq <- t.next_seq + 1;
+    Hashtbl.replace t.unacked m.seq m;
+    t.next_eligible <- Sim.Engine.now t.engine +. (1.0 /. t.params.r_max);
+    transmit t m ~attempt:1;
+    schedule_pump t
+  end
+
+and schedule_pump t =
+  if t.pump_handle = None && not (Queue.is_empty t.queue) then begin
+    let now = Sim.Engine.now t.engine in
+    let at = Float.max now t.next_eligible in
+    t.pump_handle <- Some (Sim.Engine.schedule t.engine ~at (fun () -> pump t))
+  end
+
+let send t c =
+  if not (Hashtbl.mem t.pending c) then begin
+    Hashtbl.add t.pending c ();
+    Queue.add c t.queue;
+    schedule_pump t
+  end
+
+let set_alive t b = t.alive <- b

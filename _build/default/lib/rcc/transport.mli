@@ -1,0 +1,60 @@
+(** Single-hop real-time control channel (RCC) transport.
+
+    One RCC per simplex link (Section 5.1).  Outgoing control messages
+    are collected by the BCP daemon, packed into RCC messages of at most
+    [S^RCC_max] bytes released no faster than [R^RCC_max] per second, and
+    delivered within [D^RCC_max].  Each RCC message carries a sequence
+    number and is acknowledged hop-by-hop; unacknowledged messages are
+    retransmitted, and duplicates are discarded by the receiver. *)
+
+type params = {
+  s_max : int;  (** max RCC message size, bytes *)
+  r_max : float;  (** max RCC messages per second *)
+  d_max : float;  (** max one-hop RCC message delay, seconds *)
+  retransmit_timeout : float;  (** resend period for unacked messages *)
+  max_retransmits : int;  (** give up after this many resends *)
+}
+
+val default_params : params
+(** s_max 8192 B (sized to cover the worst-case control burst of the
+    paper's 8x8 evaluation networks, see the Section 5.2 audit),
+    r_max 10 000/s, d_max 1 ms, retransmit after 4 ms, 8 attempts. *)
+
+type t
+
+val create :
+  Sim.Engine.t ->
+  params:params ->
+  link:int ->
+  deliver:(Control.t -> unit) ->
+  t
+(** RCC over the given link; [deliver] runs once per control message that
+    reaches the far end (after dedup). *)
+
+val link : t -> int
+
+val send : t -> Control.t -> unit
+(** Queue a control message.  Identical messages already waiting are not
+    queued twice (the paper: duplicate reports are discarded). *)
+
+val set_alive : t -> bool -> unit
+(** A dead link loses RCC messages and their acknowledgments; pending
+    retransmissions keep trying until [max_retransmits] so that messages
+    survive short outages (repair scenarios). *)
+
+val alive : t -> bool
+
+val queue_length : t -> int
+(** Control messages waiting for an RCC slot. *)
+
+val in_flight : t -> int
+(** RCC messages sent but not yet acknowledged. *)
+
+val stats_sent : t -> int
+(** RCC messages transmitted, including retransmissions. *)
+
+val stats_delivered : t -> int
+(** Control messages delivered to the far end (after dedup). *)
+
+val stats_dropped : t -> int
+(** RCC messages abandoned after [max_retransmits]. *)

@@ -1,0 +1,1 @@
+lib/reliability/combinatorial.ml: Float List

@@ -1,0 +1,59 @@
+let check_lambda lambda =
+  if lambda < 0.0 || lambda > 1.0 then
+    invalid_arg "Combinatorial: lambda must be a probability"
+
+let survival ~lambda ~components =
+  check_lambda lambda;
+  if components < 0 then invalid_arg "Combinatorial.survival: negative count";
+  (1.0 -. lambda) ** float_of_int components
+
+let s_activation ~lambda ~c_i ~c_j ~sc =
+  check_lambda lambda;
+  if sc < 0 || sc > min c_i c_j then
+    invalid_arg "Combinatorial.s_activation: invalid shared count";
+  let p = 1.0 -. lambda in
+  1.0
+  -. ((p ** float_of_int c_i)
+      +. (p ** float_of_int c_j)
+      -. (p ** float_of_int (c_i + c_j - sc)))
+
+let s_approx ~lambda ~sc =
+  check_lambda lambda;
+  float_of_int sc *. lambda
+
+let nu_of_degree ~lambda degree =
+  check_lambda lambda;
+  if degree < 0 then invalid_arg "Combinatorial.nu_of_degree: negative degree";
+  float_of_int degree *. lambda
+
+let p_muxf_bound ~nu ~psi_sizes =
+  if nu < 0.0 || nu > 1.0 then
+    invalid_arg "Combinatorial.p_muxf_bound: nu must be a probability";
+  let sum =
+    List.fold_left
+      (fun acc psi ->
+        if psi < 0 then invalid_arg "Combinatorial.p_muxf_bound: negative |Psi|";
+        acc +. (1.0 -. ((1.0 -. nu) ** float_of_int psi)))
+      0.0 psi_sizes
+  in
+  Float.min 1.0 sum
+
+let pr_single_backup ~lambda ~c_primary ~c_backup ~p_muxf =
+  let p_m = survival ~lambda ~components:c_primary in
+  let p_b = survival ~lambda ~components:c_backup in
+  p_m +. ((1.0 -. p_m) *. p_b *. (1.0 -. p_muxf))
+
+let pr_multi_backup ~lambda ~c_primary ~backups =
+  let p_m = survival ~lambda ~components:c_primary in
+  (* Probability that every backup is unavailable (fails or suffers a
+     multiplexing failure), assuming disjoint routes => independence. *)
+  let all_backups_down =
+    List.fold_left
+      (fun acc (c_b, p_muxf) ->
+        let avail = survival ~lambda ~components:c_b *. (1.0 -. p_muxf) in
+        acc *. (1.0 -. avail))
+      1.0 backups
+  in
+  p_m +. ((1.0 -. p_m) *. (1.0 -. all_backups_down))
+
+let pr_requirement_met ~required ~achieved = achieved +. 1e-12 >= required

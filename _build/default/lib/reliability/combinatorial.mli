@@ -1,0 +1,50 @@
+(** The paper's combinatorial fault-tolerance model (Sections 3.1–3.3).
+
+    Each component fails independently with probability λ per time unit
+    and the system resets at the start of each unit.  P_r of a
+    D-connection = probability that at least one of its channels survives
+    the unit, discounted by the multiplexing-failure bound. *)
+
+val survival : lambda:float -> components:int -> float
+(** Probability that none of [components] components fails during a unit:
+    (1−λ)^c.
+    @raise Invalid_argument unless 0 ≤ λ ≤ 1 and components ≥ 0. *)
+
+val s_activation : lambda:float -> c_i:int -> c_j:int -> sc:int -> float
+(** [S(B_i, B_j)]: probability of simultaneous activation of two backups
+    whose primaries have [c_i] and [c_j] components of which [sc] are
+    shared — the paper's exact expression
+    1 − ((1−λ)^c_i + (1−λ)^c_j − (1−λ)^(c_i + c_j − sc)).
+    @raise Invalid_argument unless 0 ≤ sc ≤ min c_i c_j. *)
+
+val s_approx : lambda:float -> sc:int -> float
+(** First-order approximation S ≈ sc·λ used by the paper to classify
+    backups into discrete multiplexing classes. *)
+
+val nu_of_degree : lambda:float -> int -> float
+(** Multiplexing threshold ν = α·λ for integer degree α ('mux=α'):
+    backups are multiplexed when S < ν, i.e. when their primaries share
+    fewer than α components.  Degree 0 disables multiplexing. *)
+
+val p_muxf_bound : nu:float -> psi_sizes:int list -> float
+(** Upper bound on the multiplexing-failure probability of a backup:
+    Σ_ℓ (1 − (1−ν)^|Ψ_ℓ|) over its links, clamped to \[0,1\]. *)
+
+val pr_single_backup :
+  lambda:float ->
+  c_primary:int ->
+  c_backup:int ->
+  p_muxf:float ->
+  float
+(** P_r of a D-connection with one disjoint backup:
+    P(M ok) + P(M fails)·P(B ok)·(1 − P_muxf). *)
+
+val pr_multi_backup :
+  lambda:float -> c_primary:int -> backups:(int * float) list -> float
+(** P_r with independent disjoint backups given as (component count,
+    P_muxf) pairs, tried in order: the connection survives the unit if the
+    primary does, or if some backup both survives and avoids a
+    multiplexing failure. *)
+
+val pr_requirement_met : required:float -> achieved:float -> bool
+(** Tolerant comparison (1e-12 slack) used by the negotiation logic. *)

@@ -1,0 +1,1 @@
+lib/routing/dijkstra.ml: Array Float Int List Net Sim

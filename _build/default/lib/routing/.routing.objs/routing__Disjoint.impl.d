@@ -1,0 +1,1 @@
+lib/routing/disjoint.ml: List Net Shortest

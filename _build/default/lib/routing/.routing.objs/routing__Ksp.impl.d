@@ -1,0 +1,1 @@
+lib/routing/ksp.ml: Hashtbl Int List Net Shortest

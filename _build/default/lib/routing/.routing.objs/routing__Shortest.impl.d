@@ -1,0 +1,1 @@
+lib/routing/shortest.ml: Array List Net Queue Sim

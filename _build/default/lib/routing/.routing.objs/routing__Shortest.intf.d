@@ -1,0 +1,1 @@
+lib/routing/shortest.mli: Net Sim

@@ -1,0 +1,51 @@
+type constraints = {
+  link_ok : Net.Topology.link -> bool;
+  node_ok : int -> bool;
+  max_hops : int option;
+}
+
+let unconstrained =
+  { link_ok = (fun _ -> true); node_ok = (fun _ -> true); max_hops = None }
+
+(* Combine the caller's admission predicates with avoidance of the interior
+   components of the already-routed paths. *)
+let narrowed topo cs avoid =
+  let banned =
+    List.fold_left
+      (fun acc p -> Net.Component.Set.union acc (Net.Path.interior_components topo p))
+      Net.Component.Set.empty avoid
+  in
+  let link_ok l =
+    cs.link_ok l
+    && not (Net.Component.Set.mem (Net.Component.Link l.Net.Topology.id) banned)
+  in
+  let node_ok v =
+    cs.node_ok v && not (Net.Component.Set.mem (Net.Component.Node v) banned)
+  in
+  (link_ok, node_ok)
+
+let disjoint_avoiding ?(constraints = unconstrained) ?tie_break topo ~src ~dst
+    ~avoid =
+  let link_ok, node_ok = narrowed topo constraints avoid in
+  Shortest.shortest_path ~link_ok ~node_ok ?max_hops:constraints.max_hops
+    ?tie_break topo ~src ~dst
+
+let sequential_disjoint ?(constraints = unconstrained) ?tie_break topo ~src
+    ~dst ~count =
+  if count < 0 then invalid_arg "Disjoint.sequential_disjoint: negative count";
+  let rec route acc k =
+    if k = 0 then List.rev acc
+    else
+      match
+        disjoint_avoiding ~constraints ?tie_break topo ~src ~dst
+          ~avoid:acc
+      with
+      | None -> List.rev acc
+      | Some p -> route (p :: acc) (k - 1)
+  in
+  route [] count
+
+let max_disjoint_bound topo ~src ~dst =
+  min
+    (List.length (Net.Topology.out_links topo src))
+    (List.length (Net.Topology.in_links topo dst))

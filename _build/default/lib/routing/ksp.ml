@@ -1,0 +1,83 @@
+(* Yen's algorithm over unit link weights.  Path cost = hop count; ties
+   break lexicographically on the link-id sequence for determinism. *)
+
+let path_key p = (Net.Path.hops p, Net.Path.links p)
+
+let compare_paths a b = compare (path_key a) (path_key b)
+
+let k_shortest ?(link_ok = fun _ -> true) ?max_hops topo ~src ~dst ~k =
+  if k <= 0 then []
+  else
+    match Shortest.shortest_path ~link_ok ?max_hops topo ~src ~dst with
+    | None -> []
+    | Some first ->
+      let accepted = ref [ first ] in
+      let candidates = ref [] in
+      let seen = Hashtbl.create 64 in
+      Hashtbl.add seen (Net.Path.links first) ();
+      let add_candidate p =
+        if not (Hashtbl.mem seen (Net.Path.links p)) then begin
+          Hashtbl.add seen (Net.Path.links p) ();
+          candidates := p :: !candidates
+        end
+      in
+      let continue = ref (List.length !accepted < k) in
+      while !continue do
+        (* Spur from every prefix of the most recently accepted path. *)
+        let last = List.hd !accepted in
+        let last_links = Net.Path.links last in
+        let nodes = Net.Path.nodes topo last in
+        let prefix_len = List.length last_links in
+        for i = 0 to prefix_len - 1 do
+          let spur_node = List.nth nodes i in
+          let root_links = List.filteri (fun j _ -> j < i) last_links in
+          (* Links leaving the spur node along any accepted path sharing
+             this root are banned, as are the root's interior nodes. *)
+          let banned_links = Hashtbl.create 8 in
+          List.iter
+            (fun p ->
+              let pl = Net.Path.links p in
+              let proot = List.filteri (fun j _ -> j < i) pl in
+              if proot = root_links && List.length pl > i then
+                Hashtbl.replace banned_links (List.nth pl i) ())
+            !accepted;
+          let root_nodes = List.filteri (fun j _ -> j < i) nodes in
+          let node_banned = Hashtbl.create 8 in
+          List.iter (fun v -> Hashtbl.replace node_banned v ()) root_nodes;
+          let spur_link_ok l =
+            link_ok l
+            && (not (Hashtbl.mem banned_links l.Net.Topology.id))
+            && not (Hashtbl.mem node_banned l.Net.Topology.dst)
+          in
+          let spur_node_ok v = not (Hashtbl.mem node_banned v) in
+          let spur_budget =
+            match max_hops with
+            | None -> None
+            | Some b -> Some (b - i)
+          in
+          let ok =
+            match spur_budget with Some b when b <= 0 -> false | _ -> true
+          in
+          if ok then
+            match
+              Shortest.shortest_path ~link_ok:spur_link_ok
+                ~node_ok:spur_node_ok ?max_hops:spur_budget topo
+                ~src:spur_node ~dst
+            with
+            | None -> ()
+            | Some spur ->
+              let total = root_links @ Net.Path.links spur in
+              (* Guard against loops through the root. *)
+              let p = Net.Path.make topo ~src ~dst ~links:total in
+              let pnodes = Net.Path.nodes topo p in
+              let distinct = List.sort_uniq Int.compare pnodes in
+              if List.length distinct = List.length pnodes then add_candidate p
+        done;
+        match List.sort compare_paths !candidates with
+        | [] -> continue := false
+        | best :: rest ->
+          candidates := rest;
+          accepted := best :: !accepted;
+          if List.length !accepted >= k then continue := false
+      done;
+      List.sort compare_paths !accepted

@@ -1,0 +1,17 @@
+(** Yen's k-shortest loopless paths.
+
+    Not used by the paper's headline experiments (they use sequential
+    disjoint search) but needed by the negotiated-establishment retry
+    logic and the backup-routing ablation: when no disjoint shortest path
+    fits the QoS budget, candidate alternatives come from here. *)
+
+val k_shortest :
+  ?link_ok:(Net.Topology.link -> bool) ->
+  ?max_hops:int ->
+  Net.Topology.t ->
+  src:int ->
+  dst:int ->
+  k:int ->
+  Net.Path.t list
+(** Up to [k] loopless minimum-hop paths in non-decreasing hop order.
+    Deterministic: ties break lexicographically on link ids. *)

@@ -1,0 +1,92 @@
+let all_links_ok _ = true
+let all_nodes_ok _ = true
+
+let bfs_distances topo ~start ~links_of ~endpoint_of =
+  let n = Net.Topology.num_nodes topo in
+  let dist = Array.make n max_int in
+  dist.(start) <- 0;
+  let q = Queue.create () in
+  Queue.add start q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun id ->
+        let v = endpoint_of (Net.Topology.link topo id) in
+        if dist.(v) = max_int then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v q
+        end)
+      (links_of u)
+  done;
+  dist
+
+let hop_distance topo ~src =
+  bfs_distances topo ~start:src
+    ~links_of:(Net.Topology.out_links topo)
+    ~endpoint_of:(fun l -> l.Net.Topology.dst)
+
+let hop_distance_to topo ~dst =
+  bfs_distances topo ~start:dst
+    ~links_of:(Net.Topology.in_links topo)
+    ~endpoint_of:(fun l -> l.Net.Topology.src)
+
+(* BFS with admission predicates.  All hops cost 1, so plain BFS finds a
+   minimum-hop path; parent links reconstruct it. *)
+let search ?(link_ok = all_links_ok) ?(node_ok = all_nodes_ok) ?max_hops
+    ?tie_break topo ~src ~dst =
+  if src = dst then Some []
+  else begin
+    let n = Net.Topology.num_nodes topo in
+    let dist = Array.make n max_int in
+    let parent = Array.make n (-1) in
+    dist.(src) <- 0;
+    let q = Queue.create () in
+    Queue.add src q;
+    let budget = match max_hops with Some b -> b | None -> max_int in
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      if dist.(u) < budget then begin
+        let out = Net.Topology.out_links topo u in
+        let out =
+          match tie_break with
+          | None -> out
+          | Some rng -> Sim.Prng.shuffle_list rng out
+        in
+        List.iter
+          (fun id ->
+            let l = Net.Topology.link topo id in
+            let v = l.Net.Topology.dst in
+            if
+              dist.(v) = max_int
+              && link_ok l
+              && (v = dst || node_ok v)
+            then begin
+              dist.(v) <- dist.(u) + 1;
+              parent.(v) <- id;
+              if v = dst then found := true else Queue.add v q
+            end)
+          out
+      end
+    done;
+    if dist.(dst) = max_int || dist.(dst) > budget then None
+    else begin
+      let rec rebuild v acc =
+        if v = src then acc
+        else
+          let id = parent.(v) in
+          rebuild (Net.Topology.link topo id).Net.Topology.src (id :: acc)
+      in
+      Some (rebuild dst [])
+    end
+  end
+
+let shortest_path ?link_ok ?node_ok ?max_hops ?tie_break topo ~src ~dst =
+  match search ?link_ok ?node_ok ?max_hops ?tie_break topo ~src ~dst with
+  | None -> None
+  | Some links -> Some (Net.Path.make topo ~src ~dst ~links)
+
+let shortest_hops ?link_ok ?node_ok topo ~src ~dst =
+  match search ?link_ok ?node_ok topo ~src ~dst with
+  | None -> None
+  | Some links -> Some (List.length links)

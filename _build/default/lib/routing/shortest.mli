@@ -1,0 +1,38 @@
+(** Shortest-path search over a topology.
+
+    All channel routing in the paper is hop-count shortest-path routing
+    subject to admission constraints ("a sequential shortest-path search
+    algorithm"), so the primitive here is a BFS/Dijkstra hybrid with a
+    per-link admission predicate and an optional hop budget. *)
+
+val hop_distance : Net.Topology.t -> src:int -> int array
+(** Unconstrained BFS hop distances from [src] to every node
+    ([max_int] when unreachable). *)
+
+val hop_distance_to : Net.Topology.t -> dst:int -> int array
+(** Hop distances from every node *to* [dst] (BFS over reversed links). *)
+
+val shortest_path :
+  ?link_ok:(Net.Topology.link -> bool) ->
+  ?node_ok:(int -> bool) ->
+  ?max_hops:int ->
+  ?tie_break:Sim.Prng.t ->
+  Net.Topology.t ->
+  src:int ->
+  dst:int ->
+  Net.Path.t option
+(** Minimum-hop path from [src] to [dst] among links satisfying [link_ok]
+    and intermediate nodes satisfying [node_ok] (endpoints are exempt from
+    [node_ok]).  [max_hops] bounds the accepted path length.  With
+    [tie_break], equal-cost choices are randomised (deterministically by
+    the given PRNG); otherwise the lowest link id wins, so results are
+    stable. *)
+
+val shortest_hops :
+  ?link_ok:(Net.Topology.link -> bool) ->
+  ?node_ok:(int -> bool) ->
+  Net.Topology.t ->
+  src:int ->
+  dst:int ->
+  int option
+(** Hop count of the constrained shortest path, without materialising it. *)

@@ -1,0 +1,1 @@
+lib/rtchan/channel.ml: Format List Net Qos Traffic

@@ -1,0 +1,1 @@
+lib/rtchan/channel.mli: Format Net Qos Traffic

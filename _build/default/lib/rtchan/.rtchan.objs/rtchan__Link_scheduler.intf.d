@@ -1,0 +1,1 @@
+lib/rtchan/link_scheduler.mli:

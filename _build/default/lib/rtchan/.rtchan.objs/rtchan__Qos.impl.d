@@ -1,0 +1,1 @@
+lib/rtchan/qos.ml: Format

@@ -1,0 +1,1 @@
+lib/rtchan/resource.ml: Array Float Format List Net Printf

@@ -1,0 +1,1 @@
+lib/rtchan/resource.mli: Format Net

@@ -1,0 +1,1 @@
+lib/rtchan/rmtp.ml: Float List Net Qos Traffic

@@ -1,0 +1,1 @@
+lib/rtchan/rmtp.mli: Net Qos Traffic

@@ -1,0 +1,1 @@
+lib/rtchan/rnmp.ml: Channel Format Hashtbl Int List Net Option Qos Resource Routing Traffic

@@ -1,0 +1,1 @@
+lib/rtchan/rnmp.mli: Channel Format Net Qos Resource Sim Traffic

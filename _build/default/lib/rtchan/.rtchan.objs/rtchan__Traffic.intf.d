@@ -1,0 +1,1 @@
+lib/rtchan/traffic.mli: Format

@@ -1,0 +1,24 @@
+(** Real-time channels: uni-directional virtual circuits with reserved
+    bandwidth along a fixed path. *)
+
+type id = int
+
+type t = {
+  id : id;
+  path : Net.Path.t;
+  traffic : Traffic.t;
+  qos : Qos.t;
+}
+
+val bandwidth : t -> float
+val hops : t -> int
+val src : t -> int
+val dst : t -> int
+
+val crosses : Net.Topology.t -> t -> Net.Component.t -> bool
+(** Does the channel's path use the component (endpoint nodes included)? *)
+
+val disabled_by : Net.Topology.t -> t -> Net.Component.t list -> bool
+(** Is some failed component on the channel's path (endpoints included)? *)
+
+val pp : Format.formatter -> t -> unit

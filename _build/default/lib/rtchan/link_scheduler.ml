@@ -1,0 +1,27 @@
+type t = {
+  capacity : float; (* Mbps *)
+  mutable busy_until : float;
+  mutable transmitted_bits : int;
+  mutable busy_time : float;
+}
+
+let create ~capacity =
+  if capacity <= 0.0 then invalid_arg "Link_scheduler.create: non-positive capacity";
+  { capacity; busy_until = 0.0; transmitted_bits = 0; busy_time = 0.0 }
+
+let enqueue t ~now ~bits =
+  if bits <= 0 then invalid_arg "Link_scheduler.enqueue: non-positive size";
+  if now < 0.0 then invalid_arg "Link_scheduler.enqueue: negative time";
+  let start = Float.max now t.busy_until in
+  let tx = float_of_int bits /. (t.capacity *. 1e6) in
+  t.busy_until <- start +. tx;
+  t.transmitted_bits <- t.transmitted_bits + bits;
+  t.busy_time <- t.busy_time +. tx;
+  t.busy_until
+
+let busy_until t = t.busy_until
+let transmitted_bits t = t.transmitted_bits
+
+let utilization t ~horizon =
+  if horizon <= 0.0 then invalid_arg "Link_scheduler.utilization: non-positive horizon";
+  Float.min 1.0 (t.busy_time /. horizon)

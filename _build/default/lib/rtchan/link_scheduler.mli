@@ -1,0 +1,26 @@
+(** Per-link output scheduling for the data plane.
+
+    RMTP services "one or multiple output queues" per link (Section 2).
+    This module models a work-conserving transmitter: each message departs
+    when the link has clocked out everything queued before it.  Real-time
+    channels are admission-controlled well below capacity, so FIFO order
+    suffices for the delay behaviour the simulations need; utilisation
+    statistics expose how close a link runs to its reservation. *)
+
+type t
+
+val create : capacity:float -> t
+(** [capacity] in Mbps. *)
+
+val enqueue : t -> now:float -> bits:int -> float
+(** Departure time of a message of [bits] arriving at [now]: transmission
+    starts when the transmitter is free and lasts bits/capacity.
+    @raise Invalid_argument on non-positive size or decreasing [now]
+    beyond the float tolerance. *)
+
+val busy_until : t -> float
+(** When the transmitter next idles. *)
+
+val transmitted_bits : t -> int
+val utilization : t -> horizon:float -> float
+(** Fraction of \[0, horizon\] spent transmitting. *)

@@ -1,0 +1,77 @@
+type t = {
+  topo : Net.Topology.t;
+  primary : float array;
+  spare : float array;
+}
+
+(* Floating-point slack so that repeated 1-Mbps reservations against a
+   200-Mbps budget never fail on rounding. *)
+let eps = 1e-9
+
+let create topo =
+  let n = Net.Topology.num_links topo in
+  { topo; primary = Array.make n 0.0; spare = Array.make n 0.0 }
+
+let topology t = t.topo
+let capacity t id = (Net.Topology.link t.topo id).Net.Topology.capacity
+let primary t id = t.primary.(id)
+let spare t id = t.spare.(id)
+let free t id = capacity t id -. t.primary.(id) -. t.spare.(id)
+
+let can_reserve_primary t id bw =
+  bw >= 0.0 && t.primary.(id) +. bw +. t.spare.(id) <= capacity t id +. eps
+
+let reserve_primary t id bw =
+  if not (can_reserve_primary t id bw) then
+    invalid_arg
+      (Printf.sprintf
+         "Resource.reserve_primary: link %d over capacity (%.3f + %.3f + %.3f > %.3f)"
+         id t.primary.(id) bw t.spare.(id) (capacity t id));
+  t.primary.(id) <- t.primary.(id) +. bw
+
+let release_primary t id bw =
+  if bw < 0.0 || t.primary.(id) -. bw < -.eps then
+    invalid_arg "Resource.release_primary: releasing more than reserved";
+  t.primary.(id) <- Float.max 0.0 (t.primary.(id) -. bw)
+
+let can_set_spare t id bw = bw >= 0.0 && t.primary.(id) +. bw <= capacity t id +. eps
+
+let set_spare t id bw =
+  if not (can_set_spare t id bw) then
+    invalid_arg
+      (Printf.sprintf "Resource.set_spare: link %d over capacity (%.3f + %.3f > %.3f)"
+         id t.primary.(id) bw (capacity t id));
+  t.spare.(id) <- bw
+
+let reserve_primary_path t path bw =
+  let ids = Net.Path.links path in
+  if List.for_all (fun id -> can_reserve_primary t id bw) ids then begin
+    List.iter (fun id -> reserve_primary t id bw) ids;
+    true
+  end
+  else false
+
+let release_primary_path t path bw =
+  List.iter (fun id -> release_primary t id bw) (Net.Path.links path)
+
+let total_capacity t = Net.Topology.total_capacity t.topo
+
+let sum a =
+  let s = ref 0.0 in
+  Array.iter (fun x -> s := !s +. x) a;
+  !s
+
+let total_primary t = sum t.primary
+let total_spare t = sum t.spare
+
+let network_load t =
+  let cap = total_capacity t in
+  if cap <= 0.0 then 0.0 else 100.0 *. total_primary t /. cap
+
+let spare_fraction t =
+  let cap = total_capacity t in
+  if cap <= 0.0 then 0.0 else 100.0 *. total_spare t /. cap
+
+let pp_link t ppf id =
+  Format.fprintf ppf "link %d: cap %.1f, primary %.1f, spare %.1f, free %.1f" id
+    (capacity t id) t.primary.(id) t.spare.(id) (free t id)

@@ -1,0 +1,65 @@
+(** Real-time Network Manager Protocol: admission, establishment and
+    teardown of primary real-time channels (Section 2).
+
+    Holds the channel registry and the per-link channel index.  Backup
+    channels are managed above this layer by BCP; RNMP only sees the
+    primaries' bandwidth (a backup "costs nothing" until activation, the
+    spare pool is sized by BCP). *)
+
+type t
+
+val create : Net.Topology.t -> t
+
+val topology : t -> Net.Topology.t
+val resources : t -> Resource.t
+
+type reject_reason =
+  | No_route  (** no admissible path within the QoS hop budget *)
+  | No_bandwidth  (** a route exists but reservation failed *)
+
+val pp_reject : Format.formatter -> reject_reason -> unit
+
+val admission_test : t -> Net.Path.t -> float -> bool
+(** Would reserving [bw] on every link of the path keep the invariant? *)
+
+val route :
+  ?tie_break:Sim.Prng.t ->
+  t ->
+  src:int ->
+  dst:int ->
+  traffic:Traffic.t ->
+  qos:Qos.t ->
+  (Net.Path.t, reject_reason) result
+(** Shortest path among links with enough free bandwidth, within the QoS
+    hop budget relative to the *unconstrained* shortest route. *)
+
+val establish :
+  ?tie_break:Sim.Prng.t ->
+  t ->
+  src:int ->
+  dst:int ->
+  traffic:Traffic.t ->
+  qos:Qos.t ->
+  (Channel.t, reject_reason) result
+(** Route + reserve + register. *)
+
+val establish_on_path :
+  t -> path:Net.Path.t -> traffic:Traffic.t -> qos:Qos.t ->
+  (Channel.t, reject_reason) result
+(** Reserve + register on a caller-chosen path (used by BCP activation,
+    which converts a backup's spare share into a dedicated reservation). *)
+
+val teardown : t -> Channel.id -> unit
+(** Release the channel's bandwidth and unregister it.  Unknown ids are
+    ignored (teardown is idempotent, matching soft-state semantics). *)
+
+val find : t -> Channel.id -> Channel.t option
+val channel_count : t -> int
+val channels : t -> Channel.t list
+
+val channels_on_link : t -> int -> Channel.id list
+val channels_through_node : t -> int -> Channel.id list
+(** Channels whose path uses the node, endpoints included. *)
+
+val channels_disabled_by : t -> Net.Component.t list -> Channel.id list
+(** Deduplicated ids of channels whose path crosses any failed component. *)

@@ -1,0 +1,74 @@
+type event = {
+  time : float;
+  seq : int;
+  action : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type handle = event
+
+type t = {
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable live : int; (* scheduled and not cancelled *)
+  queue : event Heap.t;
+}
+
+let compare_events a b =
+  match Float.compare a.time b.time with
+  | 0 -> Int.compare a.seq b.seq
+  | c -> c
+
+let create () =
+  { clock = 0.0; next_seq = 0; live = 0; queue = Heap.create ~cmp:compare_events }
+
+let now t = t.clock
+
+let schedule t ~at action =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule: time %g is before now (%g)" at t.clock);
+  let ev = { time = at; seq = t.next_seq; action; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  t.live <- t.live + 1;
+  Heap.push t.queue ev;
+  ev
+
+let schedule_after t ~delay action =
+  if delay < 0.0 then invalid_arg "Engine.schedule_after: negative delay";
+  schedule t ~at:(t.clock +. delay) action
+
+let cancel t ev =
+  if not ev.cancelled then begin
+    ev.cancelled <- true;
+    t.live <- t.live - 1
+  end
+
+let pending t = t.live
+
+let rec step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some ev ->
+    if ev.cancelled then step t
+    else begin
+      t.clock <- ev.time;
+      t.live <- t.live - 1;
+      ev.action ();
+      true
+    end
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some horizon ->
+    let continue = ref true in
+    while !continue do
+      match Heap.peek t.queue with
+      | None -> continue := false
+      | Some ev when ev.cancelled ->
+        ignore (Heap.pop t.queue)
+      | Some ev ->
+        if ev.time > horizon then continue := false else ignore (step t)
+    done;
+    if t.clock < horizon then t.clock <- horizon

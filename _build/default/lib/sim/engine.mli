@@ -1,0 +1,41 @@
+(** Discrete-event simulation engine.
+
+    A deterministic event loop: events are closures scheduled at absolute
+    simulated times and executed in time order; ties break by insertion
+    order (FIFO), which keeps runs reproducible.  Scheduled events can be
+    cancelled, which is how soft-state timers (the paper's rejoin timers)
+    are withdrawn when a rejoin message arrives in time. *)
+
+type t
+
+type handle
+(** Identifies a scheduled event so it can be cancelled. *)
+
+val create : unit -> t
+(** Fresh engine at time 0. *)
+
+val now : t -> float
+(** Current simulated time. *)
+
+val schedule : t -> at:float -> (unit -> unit) -> handle
+(** [schedule t ~at f] runs [f] when the clock reaches [at].
+    @raise Invalid_argument if [at] is in the past. *)
+
+val schedule_after : t -> delay:float -> (unit -> unit) -> handle
+(** [schedule_after t ~delay f] = [schedule t ~at:(now t +. delay) f];
+    [delay] must be non-negative. *)
+
+val cancel : t -> handle -> unit
+(** Cancel a pending event; cancelling an already-fired or already-cancelled
+    event is a no-op. *)
+
+val pending : t -> int
+(** Number of events still scheduled (excluding cancelled ones). *)
+
+val step : t -> bool
+(** Execute the next event.  Returns [false] when the queue is empty. *)
+
+val run : ?until:float -> t -> unit
+(** Drain the event queue.  With [?until], stop (without executing) at the
+    first event strictly later than [until] and advance the clock to
+    [until]. *)

@@ -1,0 +1,46 @@
+type entry = { time : float; tag : string; detail : string }
+
+type t = {
+  capacity : int;
+  buf : entry option array;
+  mutable next : int; (* next write slot *)
+  mutable total : int;
+}
+
+let create ?(capacity = 65536) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { capacity; buf = Array.make capacity None; next = 0; total = 0 }
+
+let record t ~time ~tag detail =
+  t.buf.(t.next) <- Some { time; tag; detail };
+  t.next <- (t.next + 1) mod t.capacity;
+  t.total <- t.total + 1
+
+let recordf t ~time ~tag fmt =
+  Format.kasprintf (fun s -> record t ~time ~tag s) fmt
+
+let entries t =
+  let stored = min t.total t.capacity in
+  let start = (t.next - stored + t.capacity) mod t.capacity in
+  let rec collect i acc =
+    if i = stored then List.rev acc
+    else
+      match t.buf.((start + i) mod t.capacity) with
+      | None -> collect (i + 1) acc
+      | Some e -> collect (i + 1) (e :: acc)
+  in
+  collect 0 []
+
+let count t = t.total
+
+let find_all t ~tag = List.filter (fun e -> String.equal e.tag tag) (entries t)
+
+let clear t =
+  Array.fill t.buf 0 t.capacity None;
+  t.next <- 0;
+  t.total <- 0
+
+let pp_entry ppf e = Format.fprintf ppf "[%10.6f] %-18s %s" e.time e.tag e.detail
+
+let dump ppf t =
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_entry e) (entries t)

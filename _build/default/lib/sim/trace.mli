@@ -1,0 +1,32 @@
+(** Bounded in-memory trace of simulation events.
+
+    The protocol simulator records one entry per interesting action
+    (message sent, state transition, timer fired...).  Tests assert on the
+    recorded sequences; examples print them. *)
+
+type entry = { time : float; tag : string; detail : string }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Ring buffer; default capacity 65536.  When full, oldest entries drop. *)
+
+val record : t -> time:float -> tag:string -> string -> unit
+
+val recordf :
+  t -> time:float -> tag:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Formatted variant of {!record}. *)
+
+val entries : t -> entry list
+(** Oldest first. *)
+
+val count : t -> int
+(** Number of entries recorded since creation (including dropped ones). *)
+
+val find_all : t -> tag:string -> entry list
+
+val clear : t -> unit
+
+val pp_entry : Format.formatter -> entry -> unit
+
+val dump : Format.formatter -> t -> unit

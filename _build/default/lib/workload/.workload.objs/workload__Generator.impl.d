@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Array List Net Rtchan Sim

@@ -1,0 +1,61 @@
+(** Connection-request workloads for the evaluation (Section 7).
+
+    The paper establishes one D-connection per ordered node pair
+    (64·63 = 4032 on the 8×8 networks), all with identical 1 Mbps
+    traffic; Section 7.1 also reports runs with mixed bandwidths and
+    hot-spot endpoint distributions, and Section 7.3 mixes multiplexing
+    degrees across connection classes. *)
+
+type request = {
+  src : int;
+  dst : int;
+  traffic : Rtchan.Traffic.t;
+  qos : Rtchan.Qos.t;
+  mux_degree : int;
+  backups : int;
+}
+
+val all_pairs :
+  ?bandwidth:float ->
+  ?hop_slack:int ->
+  ?backups:int ->
+  ?mux_degree:int ->
+  Net.Topology.t ->
+  request list
+(** One request per ordered node pair, in (src, dst) lexicographic order.
+    Defaults: 1 Mbps, slack 2, 1 backup, mux degree 1. *)
+
+val shuffled : Sim.Prng.t -> request list -> request list
+
+val with_mux_mix : degrees:int list -> request list -> request list
+(** Round-robin the given degrees over the request list (Section 7.3's
+    four-way 1/3/5/6 split is [with_mux_mix ~degrees:[1;3;5;6]]). *)
+
+val with_bandwidth_mix : Sim.Prng.t -> choices:float list -> request list -> request list
+(** Each request draws its bandwidth uniformly from [choices]. *)
+
+val random_pairs :
+  Sim.Prng.t ->
+  ?bandwidth:float ->
+  ?hop_slack:int ->
+  ?backups:int ->
+  ?mux_degree:int ->
+  Net.Topology.t ->
+  count:int ->
+  request list
+(** Uniformly random distinct (src, dst) ordered pairs. *)
+
+val hotspot :
+  Sim.Prng.t ->
+  ?bandwidth:float ->
+  ?hop_slack:int ->
+  ?backups:int ->
+  ?mux_degree:int ->
+  Net.Topology.t ->
+  hotspots:int list ->
+  fraction:float ->
+  count:int ->
+  request list
+(** [fraction] of the requests terminate at a uniformly drawn hotspot
+    node; the rest are uniform pairs.  Models the inhomogeneous traffic
+    of Section 7.1's last paragraph. *)

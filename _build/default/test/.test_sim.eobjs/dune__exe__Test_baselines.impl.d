@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Bcp Eval List Net Rtchan Sim Workload

@@ -1,0 +1,1 @@
+test/test_bcp.ml: Alcotest Bcp Float List Net QCheck QCheck_alcotest Reliability Rtchan

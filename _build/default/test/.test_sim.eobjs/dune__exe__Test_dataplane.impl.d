@@ -1,0 +1,1 @@
+test/test_dataplane.ml: Alcotest Bcp List Net Option Rtchan Sim

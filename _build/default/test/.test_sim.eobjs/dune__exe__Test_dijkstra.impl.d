@@ -1,0 +1,1 @@
+test/test_dijkstra.ml: Alcotest Bcp Float Int List Net Option Printf QCheck QCheck_alcotest Routing Rtchan Sim Workload

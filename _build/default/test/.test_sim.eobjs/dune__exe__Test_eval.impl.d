@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Bcp Eval Float List Net Sim String Workload

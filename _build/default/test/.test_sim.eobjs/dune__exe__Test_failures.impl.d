@@ -1,0 +1,1 @@
+test/test_failures.ml: Alcotest Failures Float Hashtbl List Net Option Sim

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Bcp List Net Printf Rtchan Sim Workload

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Bcp Eval Float List Net Printf Rtchan Sim Workload

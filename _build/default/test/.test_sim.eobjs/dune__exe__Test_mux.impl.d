@@ -1,0 +1,1 @@
+test/test_mux.ml: Alcotest Array Bcp Int List Net QCheck QCheck_alcotest Reliability

@@ -1,0 +1,1 @@
+test/test_rcc.ml: Alcotest Gen Hashtbl Int List Net Option QCheck QCheck_alcotest Rcc Sim

@@ -1,0 +1,1 @@
+test/test_reconfig.ml: Alcotest Bcp Float List Net Rtchan Sim Workload

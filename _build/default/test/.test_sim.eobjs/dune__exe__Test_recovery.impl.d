@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Bcp List Net Option QCheck QCheck_alcotest Rtchan Sim Workload

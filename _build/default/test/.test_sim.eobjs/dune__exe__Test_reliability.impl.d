@@ -1,0 +1,1 @@
+test/test_reliability.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Reliability

@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Array Int List Net Option QCheck QCheck_alcotest Routing

@@ -1,0 +1,1 @@
+test/test_rtchan.ml: Alcotest List Net Option QCheck QCheck_alcotest Result Routing Rtchan

@@ -1,0 +1,1 @@
+test/test_simnet.ml: Alcotest Bcp List Net Option Rcc Rtchan Sim

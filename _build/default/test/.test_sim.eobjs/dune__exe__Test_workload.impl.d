@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Float List Net Rtchan Sim Workload

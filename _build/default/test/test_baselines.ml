@@ -1,0 +1,113 @@
+(* Tests for the reactive re-establishment baseline and the BCP slow-path
+   combination (Section 8 comparison). *)
+
+let bw1 = Rtchan.Traffic.of_bandwidth 1.0
+
+let request ?(backups = 1) ?(mux_degree = 3) src dst =
+  {
+    Bcp.Establish.src;
+    dst;
+    traffic = bw1;
+    qos = Rtchan.Qos.default;
+    backups;
+    mux_degree;
+  }
+
+let establish_exn ns id req =
+  match Bcp.Establish.establish ns ~conn_id:id req with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "establish: %a" Bcp.Establish.pp_reject e
+
+let build ~backups ~capacity ~count =
+  let topo = Net.Builders.torus ~rows:4 ~cols:4 ~capacity in
+  let ns = Bcp.Netstate.create topo () in
+  let rng = Sim.Prng.create 5 in
+  List.iteri
+    (fun i (r : Workload.Generator.request) ->
+      if i < count then
+        ignore
+          (Bcp.Establish.establish ns ~conn_id:i
+             (request ~backups r.Workload.Generator.src r.Workload.Generator.dst)))
+    (Workload.Generator.shuffled rng (Workload.Generator.all_pairs topo));
+  ns
+
+let snapshot ns =
+  let res = Bcp.Netstate.resources ns in
+  (Rtchan.Resource.total_primary res, Rtchan.Resource.total_spare res)
+
+let test_reactive_succeeds_at_low_load () =
+  let ns = build ~backups:0 ~capacity:50.0 ~count:60 in
+  let before = snapshot ns in
+  let rate = Eval.Baselines.reactive_recovery_rate ns Eval.Rfast.Single_link in
+  Alcotest.(check (float 1e-9)) "all re-routed at low load" 100.0 rate;
+  (* The scenario machinery must restore the network exactly. *)
+  Alcotest.(check (pair (float 1e-6) (float 1e-6))) "state restored" before
+    (snapshot ns)
+
+let test_reactive_fails_under_contention () =
+  (* A 2x2 mesh at full capacity: when a corner link dies, its channels
+     compete for the single detour and someone must lose. *)
+  let topo = Net.Builders.mesh ~rows:2 ~cols:2 ~capacity:2.0 in
+  let ns = Bcp.Netstate.create topo () in
+  (* Two connections on the same link 0->1 fill it. *)
+  let _ = establish_exn ns 0 (request ~backups:0 ~mux_degree:0 0 1) in
+  let _ = establish_exn ns 1 (request ~backups:0 ~mux_degree:0 0 1) in
+  (* Another connection occupying part of the detour 0->2->3->1. *)
+  let _ = establish_exn ns 2 (request ~backups:0 ~mux_degree:0 2 3) in
+  (* Over all single-link scenarios, the 0->1 failure loses one of its two
+     channels to detour contention: the aggregate rate cannot be 100%. *)
+  let rate = Eval.Baselines.reactive_recovery_rate ns Eval.Rfast.Single_link in
+  Alcotest.(check bool) "contention visible" true (rate < 100.0)
+
+let test_bcp_total_at_least_fast () =
+  let ns = build ~backups:1 ~capacity:50.0 ~count:80 in
+  let before = snapshot ns in
+  List.iter
+    (fun model ->
+      let fast, total = Eval.Baselines.bcp_total_recovery_rate ns model in
+      Alcotest.(check bool) "total >= fast" true (total >= fast -. 1e-9);
+      Alcotest.(check bool) "rates are percentages" true
+        (fast >= 0.0 && total <= 100.0 +. 1e-9))
+    [ Eval.Rfast.Single_link; Eval.Rfast.Single_node ];
+  Alcotest.(check (pair (float 1e-6) (float 1e-6))) "state restored" before
+    (snapshot ns)
+
+let test_slow_path_recovers_backupless_losses () =
+  (* Primary and backup both die; the slow path re-establishes on the
+     ample remaining capacity. *)
+  let topo = Net.Builders.torus ~rows:4 ~cols:4 ~capacity:50.0 in
+  let ns = Bcp.Netstate.create topo () in
+  let c = establish_exn ns 0 (request ~backups:1 0 5) in
+  let b = List.hd c.Bcp.Dconn.backups in
+  let failed =
+    [
+      Net.Component.Link
+        (List.hd (Net.Path.links c.Bcp.Dconn.primary.Rtchan.Channel.path));
+      Net.Component.Link (List.hd (Net.Path.links b.Bcp.Dconn.path));
+    ]
+  in
+  let r = Bcp.Recovery.simulate ns ~failed in
+  Alcotest.(check int) "fast recovery failed" 0 r.Bcp.Recovery.recovered;
+  (* The reroute helper must find a fresh admissible path. *)
+  (match Eval.Baselines.reactive_recovery_rate ns Eval.Rfast.Single_link with
+  | rate -> Alcotest.(check bool) "sane" true (rate >= 0.0));
+  let _, total = Eval.Baselines.bcp_total_recovery_rate ns Eval.Rfast.Single_link in
+  Alcotest.(check bool) "slow path exists" true (total > 0.0)
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "reactive",
+        [
+          Alcotest.test_case "low load succeeds" `Quick
+            test_reactive_succeeds_at_low_load;
+          Alcotest.test_case "contention fails" `Quick
+            test_reactive_fails_under_contention;
+        ] );
+      ( "bcp-total",
+        [
+          Alcotest.test_case "total >= fast" `Quick test_bcp_total_at_least_fast;
+          Alcotest.test_case "slow path" `Quick
+            test_slow_path_recovers_backupless_losses;
+        ] );
+    ]

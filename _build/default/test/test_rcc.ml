@@ -1,0 +1,217 @@
+(* Tests for the real-time control channel: message model, hop-by-hop
+   transport (aggregation, pacing, ack/retransmission, dedup) and the
+   Section 5 delay bounds. *)
+
+let check_float eps = Alcotest.(check (float eps))
+
+let report ch =
+  Rcc.Control.Failure_report { channel = ch; component = Net.Component.Link 0 }
+
+(* ---------- Control ---------- *)
+
+let test_control_accessors () =
+  Alcotest.(check int) "channel of report" 7 (Rcc.Control.channel_of (report 7));
+  let act = Rcc.Control.Activation { conn = 1; serial = 2; channel = 66 } in
+  Alcotest.(check int) "channel of activation" 66 (Rcc.Control.channel_of act);
+  Alcotest.(check bool) "positive size" true (Rcc.Control.size_bytes act > 0);
+  Alcotest.(check bool) "equal" true (Rcc.Control.equal act act);
+  Alcotest.(check bool) "not equal" false (Rcc.Control.equal act (report 7))
+
+(* ---------- Transport ---------- *)
+
+let make_transport ?(params = Rcc.Transport.default_params) () =
+  let engine = Sim.Engine.create () in
+  let received = ref [] in
+  let tr =
+    Rcc.Transport.create engine ~params ~link:0 ~deliver:(fun c ->
+        received := c :: !received)
+  in
+  (engine, tr, received)
+
+let test_transport_delivers () =
+  let engine, tr, received = make_transport () in
+  Rcc.Transport.send tr (report 1);
+  Sim.Engine.run engine;
+  Alcotest.(check int) "one delivery" 1 (List.length !received);
+  Alcotest.(check bool) "payload intact" true
+    (Rcc.Control.equal (List.hd !received) (report 1));
+  Alcotest.(check int) "no retransmissions" 1 (Rcc.Transport.stats_sent tr);
+  Alcotest.(check int) "acked" 0 (Rcc.Transport.in_flight tr)
+
+let test_transport_delivery_within_d_max () =
+  let engine, tr, received = make_transport () in
+  Rcc.Transport.send tr (report 1);
+  Sim.Engine.run
+    ~until:Rcc.Transport.default_params.Rcc.Transport.d_max engine;
+  Alcotest.(check int) "delivered within D_max" 1 (List.length !received)
+
+let test_transport_aggregation () =
+  (* With s_max fitting exactly two control messages, three sends form two
+     RCC messages. *)
+  let params = { Rcc.Transport.default_params with Rcc.Transport.s_max = 32 } in
+  let engine, tr, received = make_transport ~params () in
+  Rcc.Transport.send tr (report 1);
+  Rcc.Transport.send tr (report 2);
+  Rcc.Transport.send tr (report 3);
+  Sim.Engine.run engine;
+  Alcotest.(check int) "all delivered" 3 (List.length !received);
+  Alcotest.(check int) "two RCC messages" 2 (Rcc.Transport.stats_sent tr)
+
+let test_transport_rate_pacing () =
+  (* r_max = 100/s with 1-message RCC frames: the 3rd message cannot leave
+     before t = 2/100. *)
+  let params =
+    { Rcc.Transport.default_params with Rcc.Transport.s_max = 16; r_max = 100.0 }
+  in
+  let engine, tr, received = make_transport ~params () in
+  Rcc.Transport.send tr (report 1);
+  Rcc.Transport.send tr (report 2);
+  Rcc.Transport.send tr (report 3);
+  Sim.Engine.run ~until:0.015 engine;
+  Alcotest.(check int) "only two by t=15ms" 2 (List.length !received);
+  Sim.Engine.run engine;
+  Alcotest.(check int) "all eventually" 3 (List.length !received)
+
+let test_transport_dedup_queued () =
+  let engine, tr, received = make_transport () in
+  Rcc.Transport.send tr (report 1);
+  Rcc.Transport.send tr (report 1);
+  Rcc.Transport.send tr (report 1);
+  Sim.Engine.run engine;
+  Alcotest.(check int) "queued duplicates collapsed" 1 (List.length !received)
+
+let test_transport_loss_and_retransmission () =
+  let engine, tr, received = make_transport () in
+  (* Dead at send time; repair shortly after: the retransmission succeeds. *)
+  Rcc.Transport.set_alive tr false;
+  Rcc.Transport.send tr (report 1);
+  ignore
+    (Sim.Engine.schedule engine ~at:0.006 (fun () -> Rcc.Transport.set_alive tr true));
+  Sim.Engine.run engine;
+  Alcotest.(check int) "delivered after repair" 1 (List.length !received);
+  Alcotest.(check bool) "took retransmissions" true (Rcc.Transport.stats_sent tr > 1);
+  Alcotest.(check int) "nothing abandoned" 0 (Rcc.Transport.stats_dropped tr)
+
+let test_transport_gives_up () =
+  let params =
+    { Rcc.Transport.default_params with Rcc.Transport.max_retransmits = 3 }
+  in
+  let engine, tr, received = make_transport ~params () in
+  Rcc.Transport.set_alive tr false;
+  Rcc.Transport.send tr (report 1);
+  Sim.Engine.run engine;
+  Alcotest.(check int) "never delivered" 0 (List.length !received);
+  Alcotest.(check int) "three attempts" 3 (Rcc.Transport.stats_sent tr);
+  Alcotest.(check int) "dropped" 1 (Rcc.Transport.stats_dropped tr);
+  Alcotest.(check int) "no longer in flight" 0 (Rcc.Transport.in_flight tr)
+
+let test_transport_no_duplicate_delivery_on_lost_ack () =
+  (* Deliver, then kill the link before the ack returns: the retransmitted
+     copy must be suppressed by the receiver's sequence-number dedup. *)
+  let engine, tr, received = make_transport () in
+  Rcc.Transport.send tr (report 1);
+  let d = Rcc.Transport.default_params.Rcc.Transport.d_max in
+  (* A near-empty RCC message is delivered at 0.25·d_max and acked a
+     quarter-d_max after that; kill the link in between so the ack is
+     lost, and revive it so a retransmission gets through. *)
+  ignore
+    (Sim.Engine.schedule engine ~at:(0.4 *. d) (fun () ->
+         Rcc.Transport.set_alive tr false));
+  ignore
+    (Sim.Engine.schedule engine ~at:(10.0 *. d) (fun () ->
+         Rcc.Transport.set_alive tr true));
+  Sim.Engine.run engine;
+  Alcotest.(check int) "exactly one delivery" 1 (List.length !received);
+  Alcotest.(check bool) "retransmitted" true (Rcc.Transport.stats_sent tr >= 2)
+
+let test_transport_validation () =
+  let engine = Sim.Engine.create () in
+  let bad params =
+    try
+      ignore (Rcc.Transport.create engine ~params ~link:0 ~deliver:(fun _ -> ()));
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "s_max" true
+    (bad { Rcc.Transport.default_params with Rcc.Transport.s_max = 0 });
+  Alcotest.(check bool) "r_max" true
+    (bad { Rcc.Transport.default_params with Rcc.Transport.r_max = 0.0 });
+  Alcotest.(check bool) "d_max" true
+    (bad { Rcc.Transport.default_params with Rcc.Transport.d_max = 0.0 })
+
+(* ---------- Bounds ---------- *)
+
+let test_s_max_requirement () =
+  Alcotest.(check int) "x*y" 2048
+    (Rcc.Bounds.s_max_requirement ~control_message_size:16
+       ~max_channels_on_link_pair:128)
+
+let test_recovery_delay_bound () =
+  let d = 1e-3 in
+  check_float 1e-12 "single backup = reporting only" (7.0 *. d)
+    (Rcc.Bounds.recovery_delay_bound ~k:8 ~backups:1 ~d_max:d);
+  check_float 1e-12 "two backups add one round trip"
+    ((7.0 *. d) +. (2.0 *. 7.0 *. d))
+    (Rcc.Bounds.recovery_delay_bound ~k:8 ~backups:2 ~d_max:d);
+  check_float 1e-12 "adjacent nodes recover instantly" 0.0
+    (Rcc.Bounds.recovery_delay_bound ~k:1 ~backups:1 ~d_max:d)
+
+let test_bounds_validation () =
+  let raises f = try f (); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "k=0" true
+    (raises (fun () ->
+         ignore (Rcc.Bounds.recovery_delay_bound ~k:0 ~backups:1 ~d_max:1.0)));
+  Alcotest.(check bool) "b=0" true
+    (raises (fun () ->
+         ignore (Rcc.Bounds.recovery_delay_bound ~k:2 ~backups:0 ~d_max:1.0)))
+
+(* ---------- property ---------- *)
+
+let prop_every_sent_message_delivered_once =
+  QCheck.Test.make
+    ~name:"on a healthy link, every distinct control message arrives exactly once"
+    ~count:50
+    QCheck.(list_of_size (Gen.int_range 1 40) (int_range 0 1000))
+    (fun channels ->
+      let distinct = List.sort_uniq Int.compare channels in
+      let engine = Sim.Engine.create () in
+      let seen = Hashtbl.create 16 in
+      let tr =
+        Rcc.Transport.create engine ~params:Rcc.Transport.default_params ~link:0
+          ~deliver:(fun c ->
+            let ch = Rcc.Control.channel_of c in
+            Hashtbl.replace seen ch (1 + Option.value ~default:0 (Hashtbl.find_opt seen ch)))
+      in
+      List.iter (fun ch -> Rcc.Transport.send tr (report ch)) channels;
+      Sim.Engine.run engine;
+      List.for_all (fun ch -> Hashtbl.find_opt seen ch = Some 1) distinct
+      && Hashtbl.length seen = List.length distinct)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "rcc"
+    [
+      ("control", [ Alcotest.test_case "accessors" `Quick test_control_accessors ]);
+      ( "transport",
+        [
+          Alcotest.test_case "delivers" `Quick test_transport_delivers;
+          Alcotest.test_case "within D_max" `Quick test_transport_delivery_within_d_max;
+          Alcotest.test_case "aggregation" `Quick test_transport_aggregation;
+          Alcotest.test_case "rate pacing" `Quick test_transport_rate_pacing;
+          Alcotest.test_case "queued dedup" `Quick test_transport_dedup_queued;
+          Alcotest.test_case "loss + retransmission" `Quick
+            test_transport_loss_and_retransmission;
+          Alcotest.test_case "gives up" `Quick test_transport_gives_up;
+          Alcotest.test_case "seq dedup on lost ack" `Quick
+            test_transport_no_duplicate_delivery_on_lost_ack;
+          Alcotest.test_case "validation" `Quick test_transport_validation;
+        ] );
+      ( "bounds",
+        [
+          Alcotest.test_case "S_max requirement" `Quick test_s_max_requirement;
+          Alcotest.test_case "recovery delay bound" `Quick test_recovery_delay_bound;
+          Alcotest.test_case "validation" `Quick test_bounds_validation;
+        ] );
+      qsuite "props" [ prop_every_sent_message_delivered_once ];
+    ]

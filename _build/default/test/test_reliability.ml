@@ -1,0 +1,278 @@
+(* Tests for the reliability models: CTMC transient solver (Figure 3) and
+   the combinatorial P_r / S / P_muxf algebra of Section 3. *)
+
+let check_float eps = Alcotest.(check (float eps))
+
+(* ---------- Markov ---------- *)
+
+let test_two_state_exponential () =
+  (* 0 -> 1 at rate r: P(absorbed by t) = 1 - e^{-rt}. *)
+  let m = Reliability.Markov.create ~states:2 in
+  Reliability.Markov.add_rate m ~src:0 ~dst:1 0.3;
+  let p =
+    Reliability.Markov.absorbing_probability m ~initial:0 ~absorbing:[ 1 ]
+      ~t_end:2.0
+  in
+  check_float 1e-9 "matches closed form" (1.0 -. exp (-0.6)) p
+
+let test_transient_conserves_mass () =
+  let m = Reliability.Markov.create ~states:3 in
+  Reliability.Markov.add_rate m ~src:0 ~dst:1 1.0;
+  Reliability.Markov.add_rate m ~src:1 ~dst:0 2.0;
+  Reliability.Markov.add_rate m ~src:1 ~dst:2 0.5;
+  let d = Reliability.Markov.transient m ~initial:[| 1.0; 0.0; 0.0 |] ~t_end:3.0 in
+  check_float 1e-9 "mass 1" 1.0 (Array.fold_left ( +. ) 0.0 d);
+  Array.iter (fun p -> Alcotest.(check bool) "non-negative" true (p >= -1e-12)) d
+
+let test_transient_stiff_rates () =
+  (* mu >> lambda, long horizon: uniformization must stay stable. *)
+  let m = Reliability.Markov.Dconn.figure_3b ~lambda:1e-3 ~mu:60.0 in
+  let r = Reliability.Markov.Dconn.reliability m ~t_end:1000.0 in
+  Alcotest.(check bool) "in (0, 1]" true (r > 0.0 && r <= 1.0);
+  Alcotest.(check bool) "still highly reliable" true (r > 0.95)
+
+let test_reliability_monotone_in_time () =
+  let m = Reliability.Markov.Dconn.figure_3b ~lambda:1e-2 ~mu:10.0 in
+  let r1 = Reliability.Markov.Dconn.reliability m ~t_end:1.0 in
+  let r10 = Reliability.Markov.Dconn.reliability m ~t_end:10.0 in
+  let r100 = Reliability.Markov.Dconn.reliability m ~t_end:100.0 in
+  Alcotest.(check bool) "decreasing" true (r1 >= r10 && r10 >= r100)
+
+let test_fig3a_reduces_to_fig3b () =
+  (* With lambda1 = lambda2 = L and lambda3 = 0, Fig 3(a) must match the
+     simplified Fig 3(b) chain (states 1 and 2 merge symmetrically). *)
+  let l = 2e-3 and mu = 5.0 in
+  let a =
+    Reliability.Markov.Dconn.figure_3a
+      { Reliability.Markov.Dconn.lambda1 = l; lambda2 = l; lambda3 = 0.0; mu }
+  in
+  let b = Reliability.Markov.Dconn.figure_3b ~lambda:l ~mu in
+  List.iter
+    (fun t ->
+      check_float 1e-9
+        (Printf.sprintf "t=%g" t)
+        (Reliability.Markov.Dconn.reliability b ~t_end:t)
+        (Reliability.Markov.Dconn.reliability a ~t_end:t))
+    [ 0.5; 5.0; 50.0 ]
+
+let test_fig3a_shared_components_hurt () =
+  let base =
+    { Reliability.Markov.Dconn.lambda1 = 1e-3; lambda2 = 1e-3; lambda3 = 0.0; mu = 10.0 }
+  in
+  let shared = { base with Reliability.Markov.Dconn.lambda3 = 1e-3 } in
+  let r0 =
+    Reliability.Markov.Dconn.reliability (Reliability.Markov.Dconn.figure_3a base)
+      ~t_end:10.0
+  in
+  let r1 =
+    Reliability.Markov.Dconn.reliability
+      (Reliability.Markov.Dconn.figure_3a shared) ~t_end:10.0
+  in
+  Alcotest.(check bool) "shared part lowers R(t)" true (r1 < r0)
+
+let test_mttf_two_state () =
+  (* Single transition 0 -> 1 at rate r: MTTF = 1/r. *)
+  let m = Reliability.Markov.create ~states:2 in
+  Reliability.Markov.add_rate m ~src:0 ~dst:1 0.25;
+  check_float 1e-9 "1/r" 4.0 (Reliability.Markov.Dconn.mttf m)
+
+let test_mttf_fig3b_closed_form () =
+  (* For the Fig 3(b) chain, MTTF from state 0 is
+     (3*lambda + mu) / (2*lambda^2). *)
+  let lambda = 0.01 and mu = 1.0 in
+  let m = Reliability.Markov.Dconn.figure_3b ~lambda ~mu in
+  let expected = ((3.0 *. lambda) +. mu) /. (2.0 *. lambda *. lambda) in
+  check_float 1e-3 "closed form" expected (Reliability.Markov.Dconn.mttf m)
+
+let test_markov_validation () =
+  let raises f = try f (); false with Invalid_argument _ -> true in
+  let m = Reliability.Markov.create ~states:2 in
+  Alcotest.(check bool) "self rate" true
+    (raises (fun () -> Reliability.Markov.add_rate m ~src:0 ~dst:0 1.0));
+  Alcotest.(check bool) "negative rate" true
+    (raises (fun () -> Reliability.Markov.add_rate m ~src:0 ~dst:1 (-1.0)));
+  Alcotest.(check bool) "bad initial" true
+    (raises (fun () ->
+         ignore (Reliability.Markov.transient m ~initial:[| 0.5; 0.2 |] ~t_end:1.0)))
+
+(* ---------- Combinatorial ---------- *)
+
+let test_survival () =
+  check_float 1e-12 "zero components" 1.0
+    (Reliability.Combinatorial.survival ~lambda:0.1 ~components:0);
+  check_float 1e-12 "formula" (0.9 ** 7.0)
+    (Reliability.Combinatorial.survival ~lambda:0.1 ~components:7)
+
+let test_s_activation_exact () =
+  (* S for fully shared primaries (sc = c) is exactly the probability that
+     the shared path fails: 1 - (1-l)^c. *)
+  let lambda = 0.01 and c = 9 in
+  check_float 1e-12 "fully shared"
+    (1.0 -. ((1.0 -. lambda) ** float_of_int c))
+    (Reliability.Combinatorial.s_activation ~lambda ~c_i:c ~c_j:c ~sc:c)
+
+let test_s_activation_disjoint_is_quadratic () =
+  let lambda = 1e-4 in
+  let s = Reliability.Combinatorial.s_activation ~lambda ~c_i:9 ~c_j:9 ~sc:0 in
+  (* Both primaries must fail independently: ~ (9λ)(9λ) = 8.1e-7. *)
+  Alcotest.(check bool) "order of magnitude" true (s > 5e-7 && s < 1e-6);
+  Alcotest.(check bool) "below nu = 1λ" true
+    (s < Reliability.Combinatorial.nu_of_degree ~lambda 1)
+
+let test_s_approx_close_to_exact () =
+  let lambda = 1e-4 in
+  List.iter
+    (fun sc ->
+      let exact =
+        Reliability.Combinatorial.s_activation ~lambda ~c_i:9 ~c_j:11 ~sc
+      in
+      let approx = Reliability.Combinatorial.s_approx ~lambda ~sc in
+      Alcotest.(check bool)
+        (Printf.sprintf "sc=%d within 5%% + quadratic" sc)
+        true
+        (Float.abs (exact -. approx) < (0.05 *. approx) +. (2.0 *. lambda *. lambda *. 100.0)))
+    [ 1; 3; 5; 7 ]
+
+let test_s_monotone_in_sc () =
+  let lambda = 1e-4 in
+  let s sc = Reliability.Combinatorial.s_activation ~lambda ~c_i:9 ~c_j:9 ~sc in
+  let values = List.map s [ 0; 1; 3; 5; 9 ] in
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "strictly increasing" true (increasing values)
+
+let test_p_muxf_bound () =
+  check_float 1e-12 "no sharing" 0.0
+    (Reliability.Combinatorial.p_muxf_bound ~nu:1e-4 ~psi_sizes:[ 0; 0 ]);
+  let p = Reliability.Combinatorial.p_muxf_bound ~nu:1e-3 ~psi_sizes:[ 2; 3 ] in
+  (* ~ 2e-3 + 3e-3 for small nu *)
+  Alcotest.(check bool) "approx sum" true (Float.abs (p -. 5e-3) < 1e-4);
+  check_float 1e-12 "clamped" 1.0
+    (Reliability.Combinatorial.p_muxf_bound ~nu:0.9 ~psi_sizes:[ 100; 100 ])
+
+let test_pr_single_backup () =
+  let lambda = 1e-3 in
+  let pr_no_backup = Reliability.Combinatorial.survival ~lambda ~components:9 in
+  let pr =
+    Reliability.Combinatorial.pr_single_backup ~lambda ~c_primary:9 ~c_backup:9
+      ~p_muxf:0.0
+  in
+  Alcotest.(check bool) "backup helps" true (pr > pr_no_backup);
+  let pr_muxf =
+    Reliability.Combinatorial.pr_single_backup ~lambda ~c_primary:9 ~c_backup:9
+      ~p_muxf:0.5
+  in
+  Alcotest.(check bool) "mux failure hurts" true (pr_muxf < pr);
+  let pr_dead =
+    Reliability.Combinatorial.pr_single_backup ~lambda ~c_primary:9 ~c_backup:9
+      ~p_muxf:1.0
+  in
+  check_float 1e-12 "useless backup = no backup" pr_no_backup pr_dead
+
+let test_pr_multi_backup () =
+  let lambda = 1e-3 in
+  let one =
+    Reliability.Combinatorial.pr_multi_backup ~lambda ~c_primary:9
+      ~backups:[ (9, 0.0) ]
+  in
+  let two =
+    Reliability.Combinatorial.pr_multi_backup ~lambda ~c_primary:9
+      ~backups:[ (9, 0.0); (11, 0.0) ]
+  in
+  Alcotest.(check bool) "second backup helps" true (two > one);
+  check_float 1e-12 "multi with one backup = single"
+    (Reliability.Combinatorial.pr_single_backup ~lambda ~c_primary:9 ~c_backup:9
+       ~p_muxf:0.0)
+    one;
+  check_float 1e-12 "no backups = bare survival"
+    (Reliability.Combinatorial.survival ~lambda ~components:9)
+    (Reliability.Combinatorial.pr_multi_backup ~lambda ~c_primary:9 ~backups:[])
+
+let test_requirement_met () =
+  Alcotest.(check bool) "met" true
+    (Reliability.Combinatorial.pr_requirement_met ~required:0.999 ~achieved:0.9991);
+  Alcotest.(check bool) "not met" false
+    (Reliability.Combinatorial.pr_requirement_met ~required:0.999 ~achieved:0.99);
+  Alcotest.(check bool) "tolerant at equality" true
+    (Reliability.Combinatorial.pr_requirement_met ~required:0.5 ~achieved:0.5)
+
+(* ---------- properties ---------- *)
+
+let prop_s_symmetric =
+  QCheck.Test.make ~name:"S(B_i,B_j) is symmetric" ~count:300
+    QCheck.(triple (int_range 1 30) (int_range 1 30) (int_range 0 30))
+    (fun (ci, cj, sc) ->
+      QCheck.assume (sc <= min ci cj);
+      let lambda = 1e-4 in
+      let a = Reliability.Combinatorial.s_activation ~lambda ~c_i:ci ~c_j:cj ~sc in
+      let b = Reliability.Combinatorial.s_activation ~lambda ~c_i:cj ~c_j:ci ~sc in
+      Float.abs (a -. b) < 1e-15)
+
+let prop_s_is_probability =
+  QCheck.Test.make ~name:"S stays within [0,1]" ~count:300
+    QCheck.(triple (int_range 1 50) (int_range 1 50) (int_range 0 50))
+    (fun (ci, cj, sc) ->
+      QCheck.assume (sc <= min ci cj);
+      let s = Reliability.Combinatorial.s_activation ~lambda:0.05 ~c_i:ci ~c_j:cj ~sc in
+      s >= 0.0 && s <= 1.0)
+
+let prop_pr_is_probability =
+  QCheck.Test.make ~name:"P_r stays within [0,1]" ~count:300
+    QCheck.(triple (int_range 1 40) (int_range 1 40) (float_range 0.0 1.0))
+    (fun (cp, cb, muxf) ->
+      let pr =
+        Reliability.Combinatorial.pr_single_backup ~lambda:0.01 ~c_primary:cp
+          ~c_backup:cb ~p_muxf:muxf
+      in
+      pr >= 0.0 && pr <= 1.0)
+
+let prop_markov_r_in_unit_interval =
+  QCheck.Test.make ~name:"Markov R(t) lies in [0,1]" ~count:100
+    QCheck.(pair (float_range 1e-5 0.1) (float_range 0.1 100.0))
+    (fun (lambda, t) ->
+      let m = Reliability.Markov.Dconn.figure_3b ~lambda ~mu:1.0 in
+      let r = Reliability.Markov.Dconn.reliability m ~t_end:t in
+      r >= -1e-9 && r <= 1.0 +. 1e-9)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "reliability"
+    [
+      ( "markov",
+        [
+          Alcotest.test_case "two-state closed form" `Quick test_two_state_exponential;
+          Alcotest.test_case "mass conservation" `Quick test_transient_conserves_mass;
+          Alcotest.test_case "stiff rates" `Quick test_transient_stiff_rates;
+          Alcotest.test_case "monotone in time" `Quick
+            test_reliability_monotone_in_time;
+          Alcotest.test_case "3a reduces to 3b" `Quick test_fig3a_reduces_to_fig3b;
+          Alcotest.test_case "shared components hurt" `Quick
+            test_fig3a_shared_components_hurt;
+          Alcotest.test_case "mttf two-state" `Quick test_mttf_two_state;
+          Alcotest.test_case "mttf closed form" `Quick test_mttf_fig3b_closed_form;
+          Alcotest.test_case "validation" `Quick test_markov_validation;
+        ] );
+      ( "combinatorial",
+        [
+          Alcotest.test_case "survival" `Quick test_survival;
+          Alcotest.test_case "S exact (full overlap)" `Quick test_s_activation_exact;
+          Alcotest.test_case "S disjoint quadratic" `Quick
+            test_s_activation_disjoint_is_quadratic;
+          Alcotest.test_case "S approx" `Quick test_s_approx_close_to_exact;
+          Alcotest.test_case "S monotone in sc" `Quick test_s_monotone_in_sc;
+          Alcotest.test_case "P_muxf bound" `Quick test_p_muxf_bound;
+          Alcotest.test_case "P_r single backup" `Quick test_pr_single_backup;
+          Alcotest.test_case "P_r multi backup" `Quick test_pr_multi_backup;
+          Alcotest.test_case "requirement met" `Quick test_requirement_met;
+        ] );
+      qsuite "props"
+        [
+          prop_s_symmetric;
+          prop_s_is_probability;
+          prop_pr_is_probability;
+          prop_markov_r_in_unit_interval;
+        ];
+    ]

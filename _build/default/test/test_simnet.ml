@@ -1,0 +1,493 @@
+(* Tests for the event-driven BCP protocol simulator: failure reporting,
+   backup activation (all three schemes), multiplexing failures and
+   activation retrial, the recovery-delay bound, soft-state rejoin/repair,
+   closure, and priority modes (Sections 4 and 5). *)
+
+let bw1 = Rtchan.Traffic.of_bandwidth 1.0
+let lambda = 1e-4
+
+let request ?(backups = 1) ?(mux_degree = 1) src dst =
+  {
+    Bcp.Establish.src;
+    dst;
+    traffic = bw1;
+    qos = Rtchan.Qos.default;
+    backups;
+    mux_degree;
+  }
+
+let establish_exn ns id req =
+  match Bcp.Establish.establish ns ~conn_id:id req with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "establish %d: %a" id Bcp.Establish.pp_reject e
+
+let torus_ns ?(capacity = 10.0) () =
+  Bcp.Netstate.create ~lambda (Net.Builders.torus ~rows:4 ~cols:4 ~capacity) ()
+
+let primary_link_id c =
+  List.hd (Net.Path.links c.Bcp.Dconn.primary.Rtchan.Channel.path)
+
+let one_conn_sim ?config ?(src = 0) ?(dst = 5) ?(backups = 1) () =
+  let ns = torus_ns () in
+  let c = establish_exn ns 0 (request ~backups src dst) in
+  let sim = Bcp.Simnet.create ?config ns in
+  (ns, c, sim)
+
+let find_record sim conn =
+  match List.find_opt (fun r -> r.Bcp.Simnet.conn = conn) (Bcp.Simnet.records sim) with
+  | Some r -> r
+  | None -> Alcotest.failf "no record for conn %d" conn
+
+(* ---------- protocol ids ---------- *)
+
+let test_cid_roundtrip () =
+  let cid = Bcp.Protocol.cid ~conn:1234 ~serial:7 in
+  Alcotest.(check int) "conn" 1234 (Bcp.Protocol.conn_of_cid cid);
+  Alcotest.(check int) "serial" 7 (Bcp.Protocol.serial_of_cid cid);
+  Alcotest.(check bool) "serial bound" true
+    (try ignore (Bcp.Protocol.cid ~conn:0 ~serial:64); false
+     with Invalid_argument _ -> true)
+
+(* ---------- basic recovery (Scheme 3) ---------- *)
+
+let test_link_failure_full_activation () =
+  let _, c, sim = one_conn_sim () in
+  Bcp.Simnet.fail_link sim ~at:0.01 (primary_link_id c);
+  Bcp.Simnet.run ~until:0.1 sim;
+  Bcp.Simnet.finalize sim;
+  let r = find_record sim 0 in
+  Alcotest.(check bool) "resumed" true (r.Bcp.Simnet.resumed_at <> None);
+  Alcotest.(check (option int)) "recovered via serial 1" (Some 1)
+    r.Bcp.Simnet.recovered_serial;
+  Alcotest.(check bool) "fully activated" true
+    (Bcp.Simnet.fully_activated sim ~conn:0 ~serial:1);
+  (* The failed primary is U at the nodes that learned of the failure. *)
+  let states = Bcp.Simnet.state_of sim ~conn:0 ~serial:0 in
+  Alcotest.(check bool) "primary unhealthy somewhere" true
+    (List.mem Bcp.Protocol.U states)
+
+let test_recovery_within_bound () =
+  let ns, c, sim = one_conn_sim ~src:0 ~dst:10 () in
+  let cfg = Bcp.Simnet.config sim in
+  Bcp.Simnet.fail_link sim ~at:0.01 (primary_link_id c);
+  Bcp.Simnet.run ~until:0.2 sim;
+  Bcp.Simnet.finalize sim;
+  let r = find_record sim 0 in
+  let resumed = Option.get r.Bcp.Simnet.resumed_at in
+  let measured =
+    resumed -. r.Bcp.Simnet.failure_time -. cfg.Bcp.Protocol.detection_latency
+  in
+  let k =
+    List.fold_left
+      (fun m b -> max m (Net.Path.hops b.Bcp.Dconn.path))
+      (Net.Path.hops c.Bcp.Dconn.primary.Rtchan.Channel.path)
+      c.Bcp.Dconn.backups
+  in
+  let bound =
+    Rcc.Bounds.recovery_delay_bound ~k ~backups:1
+      ~d_max:cfg.Bcp.Protocol.rcc.Rcc.Transport.d_max
+  in
+  ignore ns;
+  Alcotest.(check bool) "measured within bound" true (measured <= bound +. 1e-9)
+
+let test_failure_near_source_recovers_fast () =
+  (* When the failed component is adjacent to the source, the source
+     detects it directly: the reporting delay is ~0 (paper, Section 5.3). *)
+  let _, c, sim = one_conn_sim ~src:0 ~dst:10 () in
+  let cfg = Bcp.Simnet.config sim in
+  Bcp.Simnet.fail_link sim ~at:0.01 (primary_link_id c);
+  Bcp.Simnet.run ~until:0.1 sim;
+  let r = find_record sim 0 in
+  let resumed = Option.get r.Bcp.Simnet.resumed_at in
+  Alcotest.(check bool) "immediate resume after detection" true
+    (resumed -. 0.01 -. cfg.Bcp.Protocol.detection_latency < 1e-9)
+
+let test_node_failure_and_exclusion () =
+  let ns = torus_ns () in
+  (* conn 0 transits node 1 (path 0-1-2); conn 1 terminates at node 1. *)
+  let c0 = establish_exn ns 0 (request 0 2) in
+  let _c1 = establish_exn ns 1 (request 5 1) in
+  let mid = List.nth (Net.Path.nodes (Bcp.Netstate.topology ns) c0.Bcp.Dconn.primary.Rtchan.Channel.path) 1 in
+  let sim = Bcp.Simnet.create ns in
+  Bcp.Simnet.fail_node sim ~at:0.01 mid;
+  Bcp.Simnet.run ~until:0.2 sim;
+  Bcp.Simnet.finalize sim;
+  (if mid = 1 then begin
+     (* conn 1 ends at the dead node: excluded. *)
+     let r1 = find_record sim 1 in
+     Alcotest.(check bool) "excluded" true r1.Bcp.Simnet.excluded
+   end);
+  let r0 = find_record sim 0 in
+  Alcotest.(check bool) "transit conn recovered" true
+    (r0.Bcp.Simnet.recovered_serial <> None)
+
+let test_backup_failure_reported_no_disruption () =
+  (* Failing a backup-only component must not disrupt service, but both
+     end nodes must learn (no record is created; the backup's entries go
+     U). *)
+  let _, c, sim = one_conn_sim () in
+  let b = List.hd c.Bcp.Dconn.backups in
+  Bcp.Simnet.fail_link sim ~at:0.01 (List.hd (Net.Path.links b.Bcp.Dconn.path));
+  Bcp.Simnet.run ~until:0.1 sim;
+  Alcotest.(check int) "no disruption records" 0
+    (List.length (Bcp.Simnet.records sim));
+  let states = Bcp.Simnet.state_of sim ~conn:0 ~serial:1 in
+  Alcotest.(check bool) "backup unhealthy" true (List.mem Bcp.Protocol.U states)
+
+let test_activation_retrial_second_backup () =
+  (* Fail the primary and backup 1 simultaneously: the source must fall
+     back to backup 2 (activation retrial, Section 5.3). *)
+  let ns = torus_ns () in
+  let c = establish_exn ns 0 (request ~backups:2 0 5) in
+  let sim = Bcp.Simnet.create ns in
+  let b1 = List.hd c.Bcp.Dconn.backups in
+  Bcp.Simnet.fail_link sim ~at:0.01 (primary_link_id c);
+  Bcp.Simnet.fail_link sim ~at:0.01 (List.hd (Net.Path.links b1.Bcp.Dconn.path));
+  Bcp.Simnet.run ~until:0.2 sim;
+  Bcp.Simnet.finalize sim;
+  let r = find_record sim 0 in
+  Alcotest.(check (option int)) "recovered via serial 2" (Some 2)
+    r.Bcp.Simnet.recovered_serial;
+  Alcotest.(check bool) "second fully active" true
+    (Bcp.Simnet.fully_activated sim ~conn:0 ~serial:2)
+
+let test_spare_pool_drawn () =
+  let ns, c, sim = one_conn_sim () in
+  let b = List.hd c.Bcp.Dconn.backups in
+  let blink = List.hd (Net.Path.links b.Bcp.Dconn.path) in
+  let before = Bcp.Simnet.pool_remaining sim blink in
+  Bcp.Simnet.fail_link sim ~at:0.01 (primary_link_id c);
+  Bcp.Simnet.run ~until:0.1 sim;
+  ignore ns;
+  Alcotest.(check (float 1e-9)) "bw drawn from pool" (before -. 1.0)
+    (Bcp.Simnet.pool_remaining sim blink)
+
+(* ---------- schemes ---------- *)
+
+let run_scheme ?(fail = `Last) scheme =
+  let config = { Bcp.Protocol.default_config with Bcp.Protocol.scheme } in
+  let ns = torus_ns () in
+  let c = establish_exn ns 0 (request 0 2) in
+  let plinks = Net.Path.links c.Bcp.Dconn.primary.Rtchan.Channel.path in
+  let target =
+    match fail with
+    | `Last -> List.nth plinks (List.length plinks - 1)
+    | `First -> List.hd plinks
+  in
+  let sim = Bcp.Simnet.create ~config ns in
+  Bcp.Simnet.fail_link sim ~at:0.01 target;
+  Bcp.Simnet.run ~until:0.3 sim;
+  Bcp.Simnet.finalize sim;
+  (sim, find_record sim 0)
+
+let test_scheme1_dst_initiated () =
+  let _, r = run_scheme Bcp.Protocol.Scheme1 in
+  Alcotest.(check bool) "dst informed" true (r.Bcp.Simnet.dst_informed <> None);
+  Alcotest.(check bool) "recovered" true (r.Bcp.Simnet.recovered_serial <> None);
+  Alcotest.(check bool) "resumed" true (r.Bcp.Simnet.resumed_at <> None)
+
+let test_scheme2_src_initiated () =
+  (* Fail the link adjacent to the source: in Scheme 2 reports only travel
+     toward the source, so the (non-adjacent) destination never learns. *)
+  let _, r = run_scheme ~fail:`First Bcp.Protocol.Scheme2 in
+  Alcotest.(check bool) "src informed" true (r.Bcp.Simnet.src_informed <> None);
+  Alcotest.(check bool) "dst NOT informed (scheme 2)" true
+    (r.Bcp.Simnet.dst_informed = None);
+  Alcotest.(check bool) "recovered" true (r.Bcp.Simnet.recovered_serial <> None)
+
+let test_scheme3_both_informed () =
+  let _, r = run_scheme Bcp.Protocol.Scheme3 in
+  Alcotest.(check bool) "src informed" true (r.Bcp.Simnet.src_informed <> None);
+  Alcotest.(check bool) "dst informed" true (r.Bcp.Simnet.dst_informed <> None);
+  Alcotest.(check bool) "recovered" true (r.Bcp.Simnet.recovered_serial <> None)
+
+let test_scheme2_resumes_faster_than_scheme1 () =
+  (* With the failure near the destination, the source-initiated scheme
+     resumes no later than the destination-initiated one (Section 4.2). *)
+  let _, r1 = run_scheme Bcp.Protocol.Scheme1 in
+  let _, r2 = run_scheme Bcp.Protocol.Scheme2 in
+  let t1 = Option.get r1.Bcp.Simnet.resumed_at in
+  let t2 = Option.get r2.Bcp.Simnet.resumed_at in
+  Alcotest.(check bool) "scheme2 <= scheme1" true (t2 <= t1 +. 1e-12)
+
+(* ---------- multiplexing failure & preemption (bottleneck net) ---------- *)
+
+(* Same forced-bottleneck construction as in test_recovery, with duplex
+   links so RCC reports can travel against the data direction. *)
+let bottleneck_duplex () =
+  let topo = Net.Topology.create ~num_nodes:6 in
+  let s1 = 0 and s2 = 1 and d1 = 2 and d2 = 3 and x = 4 and y = 5 in
+  let add a b = ignore (Net.Topology.add_duplex topo ~a ~b ~capacity:10.0) in
+  add s1 d1;
+  add s2 d2;
+  add s1 x;
+  add s2 x;
+  add x y;
+  add y d1;
+  add y d2;
+  (topo, (s1, s2, d1, d2, x, y))
+
+let test_mux_failure_event_driven () =
+  let topo, (s1, s2, d1, d2, x, y) = bottleneck_duplex () in
+  let ns = Bcp.Netstate.create ~lambda topo () in
+  let a = establish_exn ns 0 (request ~mux_degree:1 s1 d1) in
+  let b = establish_exn ns 1 (request ~mux_degree:1 s2 d2) in
+  let xy = Option.get (Net.Topology.find_link topo ~src:x ~dst:y) in
+  Alcotest.(check (float 1e-9)) "spare 1 at bottleneck" 1.0
+    (Rtchan.Resource.spare (Bcp.Netstate.resources ns) xy);
+  let sim = Bcp.Simnet.create ns in
+  Bcp.Simnet.fail_link sim ~at:0.01 (primary_link_id a);
+  Bcp.Simnet.fail_link sim ~at:0.01 (primary_link_id b);
+  Bcp.Simnet.run ~until:0.3 sim;
+  Bcp.Simnet.finalize sim;
+  let ra = find_record sim 0 and rb = find_record sim 1 in
+  let winners =
+    List.length
+      (List.filter (fun r -> r.Bcp.Simnet.recovered_serial <> None) [ ra; rb ])
+  in
+  Alcotest.(check int) "exactly one wins the pool" 1 winners;
+  Alcotest.(check (float 1e-9)) "pool empty" 0.0 (Bcp.Simnet.pool_remaining sim xy)
+
+let test_preemption_lets_high_priority_win () =
+  let topo, (s1, s2, d1, d2, x, y) = bottleneck_duplex () in
+  let ns = Bcp.Netstate.create ~lambda topo () in
+  (* conn 0: low priority (degree 6); conn 1: high priority (degree 1).
+     Fail conn 0's primary slightly earlier so its backup grabs the pool
+     first, then the high-priority activation must preempt it. *)
+  let a = establish_exn ns 0 (request ~mux_degree:6 s1 d1) in
+  let b = establish_exn ns 1 (request ~mux_degree:1 s2 d2) in
+  let config =
+    { Bcp.Protocol.default_config with Bcp.Protocol.priority = Bcp.Protocol.Preemptive }
+  in
+  let xy = Option.get (Net.Topology.find_link topo ~src:x ~dst:y) in
+  let sim = Bcp.Simnet.create ~config ns in
+  Bcp.Simnet.fail_link sim ~at:0.01 (primary_link_id a);
+  Bcp.Simnet.fail_link sim ~at:0.05 (primary_link_id b);
+  Bcp.Simnet.run ~until:0.4 sim;
+  Bcp.Simnet.finalize sim;
+  let rb = find_record sim 1 in
+  Alcotest.(check bool) "high priority recovered" true
+    (rb.Bcp.Simnet.recovered_serial <> None);
+  Alcotest.(check bool) "preemption recorded" true
+    (Sim.Trace.find_all (Bcp.Simnet.trace sim) ~tag:"preempt" <> []);
+  ignore xy
+
+let test_delayed_activation_orders_contenders () =
+  let topo, (s1, s2, d1, d2, _, _) = bottleneck_duplex () in
+  let ns = Bcp.Netstate.create ~lambda topo () in
+  (* Simultaneous failures; the degree-1 connection's activation goes out
+     after 1 slot, the degree-6 one after 6 slots: the high-priority
+     connection must win the bottleneck. *)
+  let a = establish_exn ns 0 (request ~mux_degree:6 s1 d1) in
+  let b = establish_exn ns 1 (request ~mux_degree:1 s2 d2) in
+  let config =
+    {
+      Bcp.Protocol.default_config with
+      Bcp.Protocol.priority = Bcp.Protocol.Delayed_activation 5e-3;
+    }
+  in
+  let sim = Bcp.Simnet.create ~config ns in
+  Bcp.Simnet.fail_link sim ~at:0.01 (primary_link_id a);
+  Bcp.Simnet.fail_link sim ~at:0.01 (primary_link_id b);
+  Bcp.Simnet.run ~until:0.4 sim;
+  Bcp.Simnet.finalize sim;
+  let ra = find_record sim 0 and rb = find_record sim 1 in
+  Alcotest.(check bool) "high priority wins" true
+    (rb.Bcp.Simnet.recovered_serial <> None);
+  Alcotest.(check bool) "low priority mux-failed" true
+    (ra.Bcp.Simnet.recovered_serial = None)
+
+(* ---------- rejoin / repair / closure ---------- *)
+
+let test_repair_before_timer_restores_backup () =
+  (* Repair the failed component well before the rejoin timer expires: the
+     damaged primary must come back as a backup (state B everywhere). *)
+  let config =
+    { Bcp.Protocol.default_config with Bcp.Protocol.rejoin_timeout = 1.0 }
+  in
+  let _, c, sim = one_conn_sim ~config () in
+  let flink = primary_link_id c in
+  Bcp.Simnet.fail_link sim ~at:0.01 flink;
+  Bcp.Simnet.repair_link sim ~at:0.1 flink;
+  Bcp.Simnet.run ~until:3.0 sim;
+  let states = Bcp.Simnet.state_of sim ~conn:0 ~serial:0 in
+  Alcotest.(check bool) "all B (repaired into backup)" true
+    (List.for_all (fun s -> s = Bcp.Protocol.B) states);
+  (* Rejoin trace present *)
+  Alcotest.(check bool) "rejoin happened" true
+    (Sim.Trace.find_all (Bcp.Simnet.trace sim) ~tag:"rejoin" <> [])
+
+let test_no_repair_times_out_to_n () =
+  let config =
+    { Bcp.Protocol.default_config with Bcp.Protocol.rejoin_timeout = 0.2 }
+  in
+  let _, c, sim = one_conn_sim ~config () in
+  Bcp.Simnet.fail_link sim ~at:0.01 (primary_link_id c);
+  Bcp.Simnet.run ~until:2.0 sim;
+  let states = Bcp.Simnet.state_of sim ~conn:0 ~serial:0 in
+  Alcotest.(check bool) "torn down everywhere informed" true
+    (List.for_all (fun s -> s = Bcp.Protocol.N) states)
+
+let test_late_repair_triggers_closure () =
+  (* Repair after the rejoin timers expired: the rejoin (if any) must be
+     answered by a closure, ending with the channel at N, not B. *)
+  let config =
+    { Bcp.Protocol.default_config with Bcp.Protocol.rejoin_timeout = 0.1 }
+  in
+  let _, c, sim = one_conn_sim ~config () in
+  let flink = primary_link_id c in
+  Bcp.Simnet.fail_link sim ~at:0.01 flink;
+  Bcp.Simnet.repair_link sim ~at:1.0 flink;
+  Bcp.Simnet.run ~until:3.0 sim;
+  let states = Bcp.Simnet.state_of sim ~conn:0 ~serial:0 in
+  Alcotest.(check bool) "still gone" true
+    (List.for_all (fun s -> s = Bcp.Protocol.N) states)
+
+let test_closure_on_late_rejoin () =
+  (* Figure 6: the rejoin message arrives at a node whose rejoin timer has
+     already expired; that node undoes the repair with a closure toward
+     the destination.  Built on a 7-node line (no backups needed — the
+     rejoin machinery repairs any channel): timers near the source expire
+     earlier than near the destination, and the component repairs just in
+     time for the destination to answer but too late for the upstream
+     nodes to still be waiting. *)
+  let topo = Net.Builders.line ~nodes:7 ~capacity:10.0 in
+  let ns = Bcp.Netstate.create topo () in
+  let _ =
+    establish_exn ns 0
+      {
+        Bcp.Establish.src = 0;
+        dst = 6;
+        traffic = bw1;
+        qos = Rtchan.Qos.default;
+        backups = 0;
+        mux_degree = 0;
+      }
+  in
+  let config =
+    {
+      Bcp.Protocol.default_config with
+      Bcp.Protocol.rejoin_timeout = 8e-3;
+      rejoin_retry = 1e-3;
+      best_effort_delay = 1e-3;
+    }
+  in
+  let sim = Bcp.Simnet.create ~config ns in
+  (* The primary's 4th link (between nodes 3 and 4). *)
+  let c = Option.get (Bcp.Netstate.find ns 0) in
+  let l34 = List.nth (Net.Path.links c.Bcp.Dconn.primary.Rtchan.Channel.path) 3 in
+  Bcp.Simnet.fail_link sim ~at:0.010 l34;
+  Bcp.Simnet.repair_link sim ~at:0.013 l34;
+  Bcp.Simnet.run ~until:0.2 sim;
+  let closures = Sim.Trace.find_all (Bcp.Simnet.trace sim) ~tag:"closure" in
+  Alcotest.(check bool) "closure fired" true (closures <> []);
+  let states = Bcp.Simnet.state_of sim ~conn:0 ~serial:0 in
+  Alcotest.(check bool) "channel fully closed" true
+    (List.for_all (fun st -> st = Bcp.Protocol.N) states)
+
+let test_reconfigure_netstate_marks_backup_broken () =
+  let config =
+    {
+      Bcp.Protocol.default_config with
+      Bcp.Protocol.rejoin_timeout = 0.1;
+      reconfigure_netstate = true;
+    }
+  in
+  let ns = torus_ns () in
+  let c = establish_exn ns 0 (request 0 5) in
+  let b = List.hd c.Bcp.Dconn.backups in
+  let sim = Bcp.Simnet.create ~config ns in
+  (* Fail the backup; after timeout the netstate reconfigures. *)
+  Bcp.Simnet.fail_link sim ~at:0.01 (List.hd (Net.Path.links b.Bcp.Dconn.path));
+  Bcp.Simnet.run ~until:1.0 sim;
+  Alcotest.(check bool) "backup marked broken" true
+    (b.Bcp.Dconn.state = Bcp.Dconn.Broken);
+  (* Its multiplexing registrations are gone. *)
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "unregistered" false
+        (Bcp.Mux.mem (Bcp.Netstate.mux ns) ~link:l ~backup:b.Bcp.Dconn.bid))
+    (Net.Path.links b.Bcp.Dconn.path)
+
+(* ---------- RCC usage ---------- *)
+
+let test_rcc_counters_move () =
+  let _, c, sim = one_conn_sim ~src:0 ~dst:10 () in
+  Bcp.Simnet.fail_link sim ~at:0.01 (primary_link_id c);
+  Bcp.Simnet.run ~until:0.2 sim;
+  Alcotest.(check bool) "rcc sent" true (Bcp.Simnet.rcc_messages_sent sim > 0);
+  Alcotest.(check bool) "ctrl delivered" true
+    (Bcp.Simnet.control_messages_delivered sim > 0)
+
+let test_duplicate_failures_single_report_processing () =
+  (* Failing two links of the same primary yields reports from both sides,
+     but each node processes the channel failure once (state U via one
+     transition, duplicates ignored). *)
+  let ns = torus_ns () in
+  let c = establish_exn ns 0 (request 0 10) in
+  let plinks = Net.Path.links c.Bcp.Dconn.primary.Rtchan.Channel.path in
+  if List.length plinks >= 2 then begin
+    let sim = Bcp.Simnet.create ns in
+    Bcp.Simnet.fail_link sim ~at:0.01 (List.nth plinks 0);
+    Bcp.Simnet.fail_link sim ~at:0.01 (List.nth plinks (List.length plinks - 1));
+    Bcp.Simnet.run ~until:0.2 sim;
+    Bcp.Simnet.finalize sim;
+    let r = find_record sim 0 in
+    Alcotest.(check bool) "still recovers" true (r.Bcp.Simnet.recovered_serial <> None);
+    (* Exactly one activation committed at the source. *)
+    Alcotest.(check int) "single activation" 1 (List.length r.Bcp.Simnet.activations)
+  end
+
+let () =
+  Alcotest.run "simnet"
+    [
+      ("protocol", [ Alcotest.test_case "cid roundtrip" `Quick test_cid_roundtrip ]);
+      ( "recovery",
+        [
+          Alcotest.test_case "full activation" `Quick test_link_failure_full_activation;
+          Alcotest.test_case "within bound" `Quick test_recovery_within_bound;
+          Alcotest.test_case "near-source fast" `Quick
+            test_failure_near_source_recovers_fast;
+          Alcotest.test_case "node failure + exclusion" `Quick
+            test_node_failure_and_exclusion;
+          Alcotest.test_case "backup failure only" `Quick
+            test_backup_failure_reported_no_disruption;
+          Alcotest.test_case "activation retrial" `Quick
+            test_activation_retrial_second_backup;
+          Alcotest.test_case "spare pool drawn" `Quick test_spare_pool_drawn;
+        ] );
+      ( "schemes",
+        [
+          Alcotest.test_case "scheme 1" `Quick test_scheme1_dst_initiated;
+          Alcotest.test_case "scheme 2" `Quick test_scheme2_src_initiated;
+          Alcotest.test_case "scheme 3" `Quick test_scheme3_both_informed;
+          Alcotest.test_case "scheme 2 faster than 1" `Quick
+            test_scheme2_resumes_faster_than_scheme1;
+        ] );
+      ( "contention",
+        [
+          Alcotest.test_case "mux failure" `Quick test_mux_failure_event_driven;
+          Alcotest.test_case "preemption" `Quick
+            test_preemption_lets_high_priority_win;
+          Alcotest.test_case "delayed activation" `Quick
+            test_delayed_activation_orders_contenders;
+        ] );
+      ( "rejoin",
+        [
+          Alcotest.test_case "repair before timer" `Quick
+            test_repair_before_timer_restores_backup;
+          Alcotest.test_case "timeout to N" `Quick test_no_repair_times_out_to_n;
+          Alcotest.test_case "late repair closure" `Quick
+            test_late_repair_triggers_closure;
+          Alcotest.test_case "closure on late rejoin (Fig 6)" `Quick
+            test_closure_on_late_rejoin;
+          Alcotest.test_case "netstate reconfiguration" `Quick
+            test_reconfigure_netstate_marks_backup_broken;
+        ] );
+      ( "rcc",
+        [
+          Alcotest.test_case "counters" `Quick test_rcc_counters_move;
+          Alcotest.test_case "duplicate reports" `Quick
+            test_duplicate_failures_single_report_processing;
+        ] );
+    ]

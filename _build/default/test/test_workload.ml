@@ -1,0 +1,140 @@
+(* Tests for the workload generators (Section 7 traffic patterns). *)
+
+let torus44 () = Net.Builders.torus ~rows:4 ~cols:4 ~capacity:10.0
+
+let test_all_pairs () =
+  let t = torus44 () in
+  let reqs = Workload.Generator.all_pairs t in
+  Alcotest.(check int) "n(n-1)" (16 * 15) (List.length reqs);
+  (* No self-pairs, all distinct. *)
+  List.iter
+    (fun (r : Workload.Generator.request) ->
+      Alcotest.(check bool) "no self" true
+        (r.Workload.Generator.src <> r.Workload.Generator.dst))
+    reqs;
+  let keys =
+    List.map
+      (fun (r : Workload.Generator.request) ->
+        (r.Workload.Generator.src, r.Workload.Generator.dst))
+      reqs
+  in
+  Alcotest.(check int) "distinct pairs" (16 * 15)
+    (List.length (List.sort_uniq compare keys))
+
+let test_all_pairs_defaults () =
+  let t = torus44 () in
+  let r = List.hd (Workload.Generator.all_pairs t) in
+  Alcotest.(check (float 1e-9)) "1 Mbps" 1.0
+    (Rtchan.Traffic.bandwidth r.Workload.Generator.traffic);
+  Alcotest.(check int) "slack 2" 2 r.Workload.Generator.qos.Rtchan.Qos.hop_slack;
+  Alcotest.(check int) "1 backup" 1 r.Workload.Generator.backups;
+  Alcotest.(check int) "mux 1" 1 r.Workload.Generator.mux_degree
+
+let test_shuffled_is_permutation () =
+  let t = torus44 () in
+  let rng = Sim.Prng.create 3 in
+  let reqs = Workload.Generator.all_pairs t in
+  let shuffled = Workload.Generator.shuffled rng reqs in
+  Alcotest.(check int) "same size" (List.length reqs) (List.length shuffled);
+  let key (r : Workload.Generator.request) =
+    (r.Workload.Generator.src, r.Workload.Generator.dst)
+  in
+  Alcotest.(check bool) "same multiset" true
+    (List.sort compare (List.map key reqs)
+    = List.sort compare (List.map key shuffled));
+  Alcotest.(check bool) "actually shuffled" true
+    (List.map key reqs <> List.map key shuffled)
+
+let test_mux_mix_round_robin () =
+  let t = torus44 () in
+  let reqs =
+    Workload.Generator.with_mux_mix ~degrees:[ 1; 3; 5; 6 ]
+      (Workload.Generator.all_pairs t)
+  in
+  let count d =
+    List.length
+      (List.filter
+         (fun (r : Workload.Generator.request) -> r.Workload.Generator.mux_degree = d)
+         reqs)
+  in
+  Alcotest.(check int) "quarter each" 60 (count 1);
+  Alcotest.(check int) "quarter each" 60 (count 3);
+  Alcotest.(check int) "quarter each" 60 (count 5);
+  Alcotest.(check int) "quarter each" 60 (count 6)
+
+let test_bandwidth_mix () =
+  let t = torus44 () in
+  let rng = Sim.Prng.create 4 in
+  let reqs =
+    Workload.Generator.with_bandwidth_mix rng ~choices:[ 1.0; 4.0 ]
+      (Workload.Generator.all_pairs t)
+  in
+  let n1 =
+    List.length
+      (List.filter
+         (fun (r : Workload.Generator.request) ->
+           Float.abs (Rtchan.Traffic.bandwidth r.Workload.Generator.traffic -. 1.0)
+           < 1e-9)
+         reqs)
+  in
+  Alcotest.(check bool) "both classes present" true (n1 > 0 && n1 < List.length reqs)
+
+let test_random_pairs () =
+  let t = torus44 () in
+  let rng = Sim.Prng.create 5 in
+  let reqs = Workload.Generator.random_pairs rng t ~count:100 in
+  Alcotest.(check int) "count" 100 (List.length reqs);
+  List.iter
+    (fun (r : Workload.Generator.request) ->
+      Alcotest.(check bool) "valid pair" true
+        (r.Workload.Generator.src <> r.Workload.Generator.dst
+        && r.Workload.Generator.src >= 0
+        && r.Workload.Generator.src < 16))
+    reqs
+
+let test_hotspot_bias () =
+  let t = torus44 () in
+  let rng = Sim.Prng.create 6 in
+  let reqs =
+    Workload.Generator.hotspot rng t ~hotspots:[ 5 ] ~fraction:0.5 ~count:2000
+  in
+  let to_hot =
+    List.length
+      (List.filter
+         (fun (r : Workload.Generator.request) -> r.Workload.Generator.dst = 5)
+         reqs)
+  in
+  (* ~50% + uniform background (~1/16 of the rest). *)
+  Alcotest.(check bool) "bias present" true (to_hot > 900 && to_hot < 1300)
+
+let test_validation () =
+  let t = torus44 () in
+  let rng = Sim.Prng.create 7 in
+  let raises f = try f (); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "empty degrees" true
+    (raises (fun () ->
+         ignore (Workload.Generator.with_mux_mix ~degrees:[] [])));
+  Alcotest.(check bool) "empty hotspots" true
+    (raises (fun () ->
+         ignore
+           (Workload.Generator.hotspot rng t ~hotspots:[] ~fraction:0.5 ~count:1)));
+  Alcotest.(check bool) "bad fraction" true
+    (raises (fun () ->
+         ignore
+           (Workload.Generator.hotspot rng t ~hotspots:[ 1 ] ~fraction:1.5 ~count:1)))
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "generators",
+        [
+          Alcotest.test_case "all pairs" `Quick test_all_pairs;
+          Alcotest.test_case "defaults" `Quick test_all_pairs_defaults;
+          Alcotest.test_case "shuffle" `Quick test_shuffled_is_permutation;
+          Alcotest.test_case "mux mix" `Quick test_mux_mix_round_robin;
+          Alcotest.test_case "bandwidth mix" `Quick test_bandwidth_mix;
+          Alcotest.test_case "random pairs" `Quick test_random_pairs;
+          Alcotest.test_case "hotspot bias" `Quick test_hotspot_bias;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+    ]
