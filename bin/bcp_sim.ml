@@ -185,6 +185,79 @@ let multi_cmd =
   let doc = "Extension: R_fast under k simultaneous link failures." in
   Cmd.v (Cmd.info "multi" ~doc) Term.(const run_multi $ network_arg $ seed_arg)
 
+let detector_conv =
+  let parse = function
+    | "oracle" -> Ok `Oracle
+    | "heartbeat" -> Ok `Heartbeat
+    | s -> Error (`Msg (Printf.sprintf "unknown detector %S (oracle|heartbeat)" s))
+  in
+  let print ppf d =
+    Format.pp_print_string ppf
+      (match d with `Oracle -> "oracle" | `Heartbeat -> "heartbeat")
+  in
+  Arg.conv (parse, print)
+
+let detector_arg =
+  Arg.(
+    value
+    & opt detector_conv `Oracle
+    & info [ "detector" ] ~docv:"DET"
+        ~doc:"Failure detector: oracle or heartbeat.")
+
+let rate_conv what =
+  let parse s =
+    match float_of_string_opt s with
+    | Some p when p >= 0.0 && p <= 1.0 -> Ok p
+    | Some _ -> Error (`Msg (Printf.sprintf "%s must be in [0, 1]" what))
+    | None -> Error (`Msg (Printf.sprintf "invalid %s %S" what s))
+  in
+  Arg.conv (parse, Format.pp_print_float)
+
+let loss_arg =
+  Arg.(
+    value
+    & opt (some (rate_conv "loss rate")) None
+    & info [ "loss" ] ~docv:"P"
+        ~doc:"Run a single impairment level with this loss rate instead of \
+              the default ladder.")
+
+let gray_arg =
+  Arg.(
+    value
+    & opt (rate_conv "gray fraction") 0.0
+    & info [ "gray" ] ~docv:"F"
+        ~doc:"Gray-failure link fraction for the single level (with --loss).")
+
+let horizon_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "horizon" ] ~docv:"SEC" ~doc:"Simulated time past each fault.")
+
+let run_chaos ?(csv = false) network seed scenarios detector loss gray horizon =
+  let levels =
+    match loss with
+    | None -> None
+    | Some p ->
+      Some [ Eval.Chaos.level p ~dup:(p /. 2.0) ~jitter:5e-4 ~gray_frac:gray ]
+  in
+  emit ~csv
+    (Eval.Chaos.sweep ~seed ~scenario_count:scenarios ?horizon ~detector
+       ?levels network)
+
+let chaos_cmd =
+  let doc =
+    "Chaos sweep: R_fast, disruption time and RCC overhead vs control-plane \
+     impairment (loss/dup/jitter/gray links), with oracle or heartbeat \
+     failure detection."
+  in
+  Cmd.v
+    (Cmd.info "chaos" ~doc)
+    Term.(
+      const (fun csv n s sc d l g h -> run_chaos ~csv n s sc d l g h)
+      $ csv_arg $ network_arg $ seed_arg $ scenario_count_arg $ detector_arg
+      $ loss_arg $ gray_arg $ horizon_arg)
+
 let run_markov () =
   let rows = Eval.Reliability_cmp.compute ~hops:[ 1; 2; 4; 7; 10; 14 ] () in
   Eval.Report.print (Eval.Reliability_cmp.report rows)
@@ -249,5 +322,6 @@ let () =
             baseline_cmd;
             multi_cmd;
             markov_cmd;
+            chaos_cmd;
             all_cmd;
           ]))

@@ -5,10 +5,13 @@ type priority_mode =
   | Delayed_activation of float
   | Preemptive
 
+type detector_mode = Oracle | Heartbeat of Detector.params
+
 type config = {
   scheme : scheme;
   priority : priority_mode;
   rcc : Rcc.Transport.params;
+  detector : detector_mode;
   detection_latency : float;
   rejoin_timeout : float;
   best_effort_delay : float;
@@ -21,6 +24,7 @@ let default_config =
     scheme = Scheme3;
     priority = No_priority;
     rcc = Rcc.Transport.default_params;
+    detector = Oracle;
     detection_latency = 1e-4;
     rejoin_timeout = 0.5;
     best_effort_delay = 1e-3;

@@ -23,11 +23,25 @@ type priority_mode =
       (** higher-priority (smaller ν) activations may preempt activated
           lower-priority backups when a spare pool runs dry *)
 
+(** How neighbours learn that an adjacent component died (Section 3.1). *)
+type detector_mode =
+  | Oracle
+      (** both endpoints are informed [detection_latency] after the fault
+          — the original simulator stand-in, kept as the default *)
+  | Heartbeat of Detector.params
+      (** periodic keepalives over each RCC; a neighbour confirms a
+          failure after the configured miss threshold, and the sender
+          side confirms when retransmissions exhaust without an ack.
+          Detection then emerges from (impairable) message exchange, and
+          runs must be driven with [run ~until] since keepalives never
+          cease. *)
+
 type config = {
   scheme : scheme;
   priority : priority_mode;
   rcc : Rcc.Transport.params;  (** per-link RCC parameters *)
-  detection_latency : float;  (** failure-detection time at neighbours *)
+  detector : detector_mode;  (** how failures are detected *)
+  detection_latency : float;  (** oracle failure-detection time at neighbours *)
   rejoin_timeout : float;  (** soft-state rejoin timer (Section 4.4) *)
   best_effort_delay : float;  (** per-hop delay of reconfiguration messages *)
   rejoin_retry : float;

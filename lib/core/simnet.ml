@@ -52,6 +52,12 @@ type t = {
   pool : float array;
   activated : (int, activation_hold list) Hashtbl.t; (* link -> holds *)
   recs : (int, record) Hashtbl.t;
+  mutable impair : Failures.Impair.t option;
+  mutable monitors : Detector.t array; (* heartbeat mode: one per link *)
+  mutable hb_beats : int array; (* per-link beat counters *)
+  mutable sender_reported : bool array; (* drop-based report sent for link *)
+  mutable hb_confirms : int;
+  mutable hb_recoveries : int;
 }
 
 let engine t = t.engine
@@ -69,7 +75,11 @@ let link_alive t l =
   && t.node_alive.(lk.Net.Topology.dst)
 
 let refresh_link_transport t l =
-  Rcc.Transport.set_alive t.rcc.(l) (link_alive t l)
+  let up = link_alive t l in
+  Rcc.Transport.set_alive t.rcc.(l) up;
+  (* A repaired link may fail again later; re-arm the sender-side
+     drop-based detector. *)
+  if up && Array.length t.sender_reported > 0 then t.sender_reported.(l) <- false
 
 (* ---------- construction ---------- *)
 
@@ -131,6 +141,12 @@ let create ?(config = Protocol.default_config) ns =
       pool = Netstate.spare_pool ns;
       activated = Hashtbl.create 64;
       recs = Hashtbl.create 64;
+      impair = None;
+      monitors = [||];
+      hb_beats = [||];
+      sender_reported = [||];
+      hb_confirms = 0;
+      hb_recoveries = 0;
     }
   in
   List.iter
@@ -150,14 +166,115 @@ let create ?(config = Protocol.default_config) ns =
 
 (* RCC deliver closures need [t]; fill the transports afterwards. *)
 let rec wire_transports t =
-  if Array.length t.rcc = 0 then
+  if Array.length t.rcc = 0 then begin
     t.rcc <-
       Array.init (Net.Topology.num_links t.topo) (fun l ->
           let lk = Net.Topology.link t.topo l in
           Rcc.Transport.create t.engine ~params:t.cfg.Protocol.rcc ~link:l
             ~deliver:(fun c ->
               if t.node_alive.(lk.Net.Topology.dst) then
-                handle_control t lk.Net.Topology.dst ~via:l c))
+                handle_control t lk.Net.Topology.dst ~via:l c));
+    apply_impairment t;
+    match t.cfg.Protocol.detector with
+    | Protocol.Heartbeat hb -> start_heartbeats t hb
+    | Protocol.Oracle -> ()
+  end
+
+and apply_impairment t =
+  match t.impair with
+  | None -> ()
+  | Some imp ->
+    Array.iteri
+      (fun l tr ->
+        Rcc.Transport.set_impairment tr
+          (Some
+             (fun ~dir ~bytes ~now ->
+               Failures.Impair.decide imp ~link:l ~dir ~bytes ~now)))
+      t.rcc
+
+(* ---------- heartbeat failure detection ---------- *)
+
+(* One keepalive stream per simplex link, carried over the link's own RCC
+   so that detection is subject to the same loss/duplication/delay as the
+   rest of the control plane.  The receiver runs a {!Detector} per
+   incoming link; the sender treats exhausted retransmissions (no ack
+   after [max_retransmits]) as its own confirmation.  Ticks are staggered
+   by link id so the whole network does not beat in lock-step. *)
+
+and start_heartbeats t hb =
+  let m = Net.Topology.num_links t.topo in
+  let now = Sim.Engine.now t.engine in
+  t.monitors <- Array.init m (fun _ -> Detector.create hb ~now);
+  t.hb_beats <- Array.make m 0;
+  t.sender_reported <- Array.make m false;
+  Array.iteri
+    (fun l tr -> Rcc.Transport.set_drop_handler tr (fun () -> sender_drop t l))
+    t.rcc;
+  let period = hb.Detector.period in
+  for l = 0 to m - 1 do
+    let offset = period *. (float_of_int (l + 1) /. float_of_int (m + 1)) in
+    ignore
+      (Sim.Engine.schedule_after t.engine ~delay:offset (fun () ->
+           hb_send_tick t l));
+    ignore
+      (Sim.Engine.schedule_after t.engine ~delay:(offset +. (0.5 *. period))
+         (fun () -> hb_check_tick t l))
+  done
+
+and hb_period t =
+  match t.cfg.Protocol.detector with
+  | Protocol.Heartbeat hb -> hb.Detector.period
+  | Protocol.Oracle -> assert false
+
+and hb_send_tick t l =
+  let lk = Net.Topology.link t.topo l in
+  let src = lk.Net.Topology.src in
+  (* A dead node's daemon is silent, but keep ticking: the node may be
+     repaired later. *)
+  if t.node_alive.(src) then begin
+    t.hb_beats.(l) <- t.hb_beats.(l) + 1;
+    Rcc.Transport.send t.rcc.(l)
+      (Rcc.Control.Heartbeat { node = src; beat = t.hb_beats.(l) })
+  end;
+  ignore
+    (Sim.Engine.schedule_after t.engine ~delay:(hb_period t) (fun () ->
+         hb_send_tick t l))
+
+and hb_check_tick t l =
+  let lk = Net.Topology.link t.topo l in
+  let dst = lk.Net.Topology.dst in
+  (if t.node_alive.(dst) then
+     match Detector.check t.monitors.(l) ~now:(now t) with
+     | `Confirmed ->
+       t.hb_confirms <- t.hb_confirms + 1;
+       tracef t "hb-confirm" "node %d: link %d declared failed (heartbeats)" dst l;
+       detect t dst (Net.Component.Link l)
+     | `Suspected -> tracef t "hb-suspect" "node %d: link %d suspected" dst l
+     | `Fine -> ());
+  ignore
+    (Sim.Engine.schedule_after t.engine ~delay:(hb_period t) (fun () ->
+         hb_check_tick t l))
+
+and sender_drop t l =
+  if not t.sender_reported.(l) then begin
+    let lk = Net.Topology.link t.topo l in
+    let src = lk.Net.Topology.src in
+    if t.node_alive.(src) then begin
+      t.sender_reported.(l) <- true;
+      t.hb_confirms <- t.hb_confirms + 1;
+      tracef t "hb-confirm" "node %d: link %d declared failed (no acks)" src l;
+      detect t src (Net.Component.Link l)
+    end
+  end
+
+and hb_beat t ~via =
+  if Array.length t.monitors > 0 then
+    match Detector.beat t.monitors.(via) ~now:(now t) with
+    | `Recovered ->
+      t.hb_recoveries <- t.hb_recoveries + 1;
+      tracef t "hb-recover" "link %d heartbeats resumed (repair or false positive)"
+        via
+    | `Fine -> ()
 
 (* ---------- message plumbing ---------- *)
 
@@ -553,6 +670,7 @@ and mux_failure_at t node e =
 and handle_control t node ~via c =
   let d = t.daemons.(node) in
   match c with
+  | Rcc.Control.Heartbeat _ -> hb_beat t ~via
   | Rcc.Control.Failure_report { channel; component } ->
     (match Hashtbl.find_opt d.chans channel with
     | None -> ()
@@ -656,20 +774,9 @@ and handle_be t node msg =
           (be_send t ~from_node:node ~to_node:e.pnodes.(e.pos + 1)
              (Protocol.Closure { channel = e.cid })))
 
-(* ---------- fault injection ---------- *)
+(* ---------- local failure detection ---------- *)
 
-let mark_affected_conns t comp =
-  List.iter
-    (fun conn ->
-      let r = ensure_record t conn.Dconn.id in
-      (match comp with
-      | Net.Component.Node v
-        when conn.Dconn.src = v || conn.Dconn.dst = v ->
-        r.excluded <- true
-      | _ -> ()))
-    (Netstate.conns_with_primary_on t.ns comp)
-
-let detect t node comp =
+and detect t node comp =
   if t.node_alive.(node) then begin
     let d = t.daemons.(node) in
     let entries = Hashtbl.fold (fun _ e acc -> e :: acc) d.chans [] in
@@ -686,6 +793,21 @@ let detect t node comp =
       entries
   end
 
+(* ---------- fault injection ---------- *)
+
+let mark_affected_conns t comp =
+  List.iter
+    (fun conn ->
+      let r = ensure_record t conn.Dconn.id in
+      (match comp with
+      | Net.Component.Node v
+        when conn.Dconn.src = v || conn.Dconn.dst = v ->
+        r.excluded <- true
+      | _ -> ()))
+    (Netstate.conns_with_primary_on t.ns comp)
+
+let oracle_detection t = t.cfg.Protocol.detector = Protocol.Oracle
+
 let do_fail_link t l =
   wire_transports t;
   if not t.link_failed.(l) then begin
@@ -694,11 +816,14 @@ let do_fail_link t l =
     tracef t "fail" "link %d down" l;
     mark_affected_conns t (Net.Component.Link l);
     let lk = Net.Topology.link t.topo l in
-    ignore
-      (Sim.Engine.schedule_after t.engine ~delay:t.cfg.Protocol.detection_latency
-         (fun () ->
-           detect t lk.Net.Topology.src (Net.Component.Link l);
-           detect t lk.Net.Topology.dst (Net.Component.Link l)))
+    (* With a heartbeat detector, nobody is told: the neighbours must
+       notice the silence (or the missing acks) themselves. *)
+    if oracle_detection t then
+      ignore
+        (Sim.Engine.schedule_after t.engine ~delay:t.cfg.Protocol.detection_latency
+           (fun () ->
+             detect t lk.Net.Topology.src (Net.Component.Link l);
+             detect t lk.Net.Topology.dst (Net.Component.Link l)))
   end
 
 let do_fail_node t v =
@@ -718,10 +843,12 @@ let do_fail_node t v =
              else lk.Net.Topology.src)
            incident)
     in
-    ignore
-      (Sim.Engine.schedule_after t.engine ~delay:t.cfg.Protocol.detection_latency
-         (fun () ->
-           List.iter (fun x -> detect t x (Net.Component.Node v)) neighbors))
+    if oracle_detection t then
+      ignore
+        (Sim.Engine.schedule_after t.engine ~delay:t.cfg.Protocol.detection_latency
+           (fun () ->
+             List.iter (fun x -> detect t x (Net.Component.Node v)) neighbors))
+    else ignore neighbors
   end
 
 let fail_link t ~at l = ignore (Sim.Engine.schedule t.engine ~at (fun () -> do_fail_link t l))
@@ -834,3 +961,22 @@ let rcc_messages_sent t =
 
 let control_messages_delivered t =
   Array.fold_left (fun acc tr -> acc + Rcc.Transport.stats_delivered tr) 0 t.rcc
+
+let rcc_messages_dropped t =
+  Array.fold_left (fun acc tr -> acc + Rcc.Transport.stats_dropped tr) 0 t.rcc
+
+(* ---------- impairment & detector plumbing ---------- *)
+
+let set_impairment t imp =
+  t.impair <- Some imp;
+  wire_transports t;
+  apply_impairment t
+
+let impairment t = t.impair
+
+let detector_state t l =
+  if Array.length t.monitors = 0 then None
+  else Some (Detector.state t.monitors.(l))
+
+let heartbeat_confirms t = t.hb_confirms
+let heartbeat_recoveries t = t.hb_recoveries

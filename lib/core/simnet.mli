@@ -37,6 +37,9 @@ val repair_node : t -> at:float -> int -> unit
 val inject : t -> at:float -> Failures.Scenario.t -> unit
 
 val run : ?until:float -> t -> unit
+(** Drive the event loop.  Under [Protocol.Heartbeat] detection the
+    keepalive streams never cease, so [~until] is mandatory in practice
+    (without it the run never quiesces). *)
 
 (** {2 Observations} *)
 
@@ -89,3 +92,29 @@ val rcc_messages_sent : t -> int
 (** Total RCC messages transmitted (including retransmissions). *)
 
 val control_messages_delivered : t -> int
+
+val rcc_messages_dropped : t -> int
+(** RCC messages abandoned after exhausting retransmissions. *)
+
+(** {2 Control-plane impairment and heartbeat detection} *)
+
+val set_impairment : t -> Failures.Impair.t -> unit
+(** Attach a link-impairment model: every RCC message and hop-by-hop ack
+    on every link is routed through {!Failures.Impair.decide}.  Attaching
+    a model whose profiles are all {!Failures.Impair.perfect} leaves a
+    run bit-for-bit identical to an unimpaired one. *)
+
+val impairment : t -> Failures.Impair.t option
+
+val detector_state : t -> int -> Detector.state option
+(** The heartbeat monitor state for a link ([None] under the oracle
+    detector or before the simulation is wired). *)
+
+val heartbeat_confirms : t -> int
+(** Heartbeat-mode failure confirmations (receiver miss-threshold plus
+    sender ack-exhaustion), including false positives on gray or
+    flapping links. *)
+
+val heartbeat_recoveries : t -> int
+(** Times a confirmed-dead link produced a heartbeat again (repair or
+    false positive). *)

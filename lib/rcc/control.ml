@@ -2,6 +2,7 @@ type t =
   | Failure_report of { channel : int; component : Net.Component.t }
   | Activation of { conn : int; serial : int; channel : int }
   | Mux_failure_report of { channel : int; link : int }
+  | Heartbeat of { node : int; beat : int }
 
 (* Channel id (4) + type tag (1) + payload; sizes are nominal but fixed so
    the S_max aggregation bound is meaningful. *)
@@ -9,11 +10,13 @@ let size_bytes = function
   | Failure_report _ -> 16
   | Activation _ -> 16
   | Mux_failure_report _ -> 16
+  | Heartbeat _ -> 8
 
 let channel_of = function
   | Failure_report { channel; _ } -> channel
   | Activation { channel; _ } -> channel
   | Mux_failure_report { channel; _ } -> channel
+  | Heartbeat _ -> -1
 
 let pp ppf = function
   | Failure_report { channel; component } ->
@@ -24,5 +27,7 @@ let pp ppf = function
       channel
   | Mux_failure_report { channel; link } ->
     Format.fprintf ppf "mux-failure(ch=%d, link=%d)" channel link
+  | Heartbeat { node; beat } ->
+    Format.fprintf ppf "heartbeat(node=%d, beat=%d)" node beat
 
 let equal a b = a = b

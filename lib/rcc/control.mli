@@ -19,13 +19,20 @@ type t =
       channel : int;  (** backup that lost its spare share *)
       link : int;  (** where the spare pool was exhausted *)
     }
+  | Heartbeat of {
+      node : int;  (** sending node *)
+      beat : int;  (** monotonic per-link beat counter *)
+    }
+      (** Periodic keepalive used by the heartbeat failure detector; not
+          part of the paper's message set but carried over the same RCCs
+          so that detection itself is subject to loss and delay. *)
 
 val size_bytes : t -> int
 (** Wire size used for RCC aggregation against [S^RCC_max]. *)
 
 val channel_of : t -> int
 (** The channel the message concerns (dedup key together with the
-    constructor). *)
+    constructor); [-1] for heartbeats, which concern the link itself. *)
 
 val pp : Format.formatter -> t -> unit
 val equal : t -> t -> bool

@@ -4,6 +4,7 @@ type params = {
   d_max : float;
   retransmit_timeout : float;
   max_retransmits : int;
+  seen_window : int;
 }
 
 let default_params =
@@ -13,7 +14,13 @@ let default_params =
     d_max = 1e-3;
     retransmit_timeout = 4e-3;
     max_retransmits = 8;
+    seen_window = 4096;
   }
+
+type impairment = dir:[ `Data | `Ack ] -> bytes:int -> now:float -> float list
+
+(* Nominal wire size of a hop-by-hop acknowledgment (seq + tag). *)
+let ack_bytes = 8
 
 type rcc_message = { seq : int; payload : Control.t list; bytes : int }
 
@@ -23,10 +30,14 @@ type t = {
   link : int;
   deliver : Control.t -> unit;
   mutable alive : bool;
+  mutable impair : impairment option;
+  mutable on_drop : unit -> unit;
   queue : Control.t Queue.t;
   pending : (Control.t, unit) Hashtbl.t; (* dedup of queued messages *)
   unacked : (int, rcc_message) Hashtbl.t; (* awaiting hop-by-hop ack *)
   seen : (int, unit) Hashtbl.t; (* receiver-side dedup *)
+  seen_order : int Queue.t; (* arrival order, for window eviction *)
+  airborne : (int, int) Hashtbl.t; (* copies scheduled but not yet landed *)
   mutable next_seq : int;
   mutable next_eligible : float;
   mutable pump_handle : Sim.Engine.handle option;
@@ -35,20 +46,26 @@ type t = {
   mutable dropped : int;
 }
 
-let create engine ~params ~link ~deliver =
+let create ?impair engine ~params ~link ~deliver =
   if params.s_max <= 0 then invalid_arg "Transport.create: s_max must be positive";
   if params.r_max <= 0.0 then invalid_arg "Transport.create: r_max must be positive";
   if params.d_max <= 0.0 then invalid_arg "Transport.create: d_max must be positive";
+  if params.seen_window <= 0 then
+    invalid_arg "Transport.create: seen_window must be positive";
   {
     engine;
     params;
     link;
     deliver;
     alive = true;
+    impair;
+    on_drop = (fun () -> ());
     queue = Queue.create ();
     pending = Hashtbl.create 64;
     unacked = Hashtbl.create 16;
     seen = Hashtbl.create 256;
+    seen_order = Queue.create ();
+    airborne = Hashtbl.create 16;
     next_seq = 0;
     next_eligible = 0.0;
     pump_handle = None;
@@ -64,6 +81,10 @@ let in_flight t = Hashtbl.length t.unacked
 let stats_sent t = t.sent
 let stats_delivered t = t.delivered
 let stats_dropped t = t.dropped
+let seen_size t = Hashtbl.length t.seen
+
+let set_impairment t i = t.impair <- i
+let set_drop_handler t f = t.on_drop <- f
 
 (* Delivery latency: a fraction of the worst case that grows with the RCC
    message size, so the D_max bound is respected but not trivially equal. *)
@@ -71,9 +92,31 @@ let delivery_delay t bytes =
   let fill = float_of_int bytes /. float_of_int t.params.s_max in
   t.params.d_max *. (0.25 +. (0.75 *. Float.min 1.0 fill))
 
+(* Copies that survive the link: without an impairment model exactly one,
+   on time; with one, whatever the model decides (possibly none, possibly
+   duplicates, each with its own extra delay). *)
+let copies t ~dir ~bytes =
+  match t.impair with
+  | None -> [ 0.0 ]
+  | Some f -> f ~dir ~bytes ~now:(Sim.Engine.now t.engine)
+
+let note_airborne t seq delta =
+  let n = delta + Option.value ~default:0 (Hashtbl.find_opt t.airborne seq) in
+  if n <= 0 then Hashtbl.remove t.airborne seq
+  else Hashtbl.replace t.airborne seq n
+
 let receive t (m : rcc_message) =
   if not (Hashtbl.mem t.seen m.seq) then begin
     Hashtbl.add t.seen m.seq ();
+    Queue.add m.seq t.seen_order;
+    (* Sliding-window bound on the dedup table: a seq old enough to be
+       evicted can no longer be retransmitted (the sender has either been
+       acked or has given up long before [seen_window] newer messages
+       went by). *)
+    while Queue.length t.seen_order > t.params.seen_window do
+      let old = Queue.pop t.seen_order in
+      Hashtbl.remove t.seen old
+    done;
     List.iter
       (fun c ->
         t.delivered <- t.delivered + 1;
@@ -81,20 +124,36 @@ let receive t (m : rcc_message) =
       m.payload
   end
 
+let ack_received t seq = Hashtbl.remove t.unacked seq
+
+(* The hop-by-hop ack traverses the same impaired link in the reverse
+   direction: it can be lost or duplicated like any other transmission,
+   which is what makes retransmission of already-delivered messages (and
+   hence the receiver-side dedup) reachable under pure message loss. *)
+let send_ack t (m : rcc_message) =
+  let ack_delay = t.params.d_max *. 0.25 in
+  List.iter
+    (fun extra ->
+      ignore
+        (Sim.Engine.schedule_after t.engine ~delay:(ack_delay +. extra)
+           (fun () -> if t.alive then ack_received t m.seq)))
+    (copies t ~dir:`Ack ~bytes:ack_bytes)
+
 let rec transmit t (m : rcc_message) ~attempt =
   t.sent <- t.sent + 1;
   if t.alive then begin
-    let delay = delivery_delay t m.bytes in
-    ignore
-      (Sim.Engine.schedule_after t.engine ~delay (fun () ->
-           if t.alive then begin
-             receive t m;
-             (* Hop-by-hop acknowledgment on the reverse direction. *)
-             let ack_delay = t.params.d_max *. 0.25 in
-             ignore
-               (Sim.Engine.schedule_after t.engine ~delay:ack_delay (fun () ->
-                    if t.alive then Hashtbl.remove t.unacked m.seq))
-           end))
+    let base = delivery_delay t m.bytes in
+    List.iter
+      (fun extra ->
+        note_airborne t m.seq 1;
+        ignore
+          (Sim.Engine.schedule_after t.engine ~delay:(base +. extra) (fun () ->
+               note_airborne t m.seq (-1);
+               if t.alive then begin
+                 receive t m;
+                 send_ack t m
+               end)))
+      (copies t ~dir:`Data ~bytes:m.bytes)
   end;
   (* Retransmission timer runs regardless of link state: the paper's BCP
      daemon "resends the unacknowledged RCC message". *)
@@ -106,7 +165,8 @@ let rec transmit t (m : rcc_message) ~attempt =
          | Some _ ->
            if attempt >= t.params.max_retransmits then begin
              Hashtbl.remove t.unacked m.seq;
-             t.dropped <- t.dropped + 1
+             t.dropped <- t.dropped + 1;
+             t.on_drop ()
            end
            else transmit t m ~attempt:(attempt + 1)))
 
@@ -152,4 +212,26 @@ let send t c =
     schedule_pump t
   end
 
-let set_alive t b = t.alive <- b
+(* On link repair, drop dedup state for seqs that can never arrive again:
+   not awaiting an ack (so the sender will not retransmit them) and with
+   no copy still scheduled in the event queue.  This keeps [seen] from
+   accumulating one entry per message across long repair cycles while
+   never re-admitting a duplicate. *)
+let prune_seen t =
+  let stale seq =
+    (not (Hashtbl.mem t.unacked seq)) && not (Hashtbl.mem t.airborne seq)
+  in
+  if Queue.length t.seen_order > 0 then begin
+    let keep = Queue.create () in
+    Queue.iter
+      (fun seq ->
+        if stale seq then Hashtbl.remove t.seen seq else Queue.add seq keep)
+      t.seen_order;
+    Queue.clear t.seen_order;
+    Queue.transfer keep t.seen_order
+  end
+
+let set_alive t b =
+  let was = t.alive in
+  t.alive <- b;
+  if b && not was then prune_seen t

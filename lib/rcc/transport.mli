@@ -5,7 +5,13 @@
     [S^RCC_max] bytes released no faster than [R^RCC_max] per second, and
     delivered within [D^RCC_max].  Each RCC message carries a sequence
     number and is acknowledged hop-by-hop; unacknowledged messages are
-    retransmitted, and duplicates are discarded by the receiver. *)
+    retransmitted, and duplicates are discarded by the receiver.
+
+    Both the RCC message and its hop-by-hop acknowledgment traverse an
+    optional {!impairment} hook, so probabilistic loss, duplication and
+    jitter (e.g. {!Failures.Impair}) exercise the full
+    retransmit/ack/dedup machinery.  Without a hook, delivery is the
+    deterministic legacy behaviour, event for event. *)
 
 type params = {
   s_max : int;  (** max RCC message size, bytes *)
@@ -13,16 +19,27 @@ type params = {
   d_max : float;  (** max one-hop RCC message delay, seconds *)
   retransmit_timeout : float;  (** resend period for unacked messages *)
   max_retransmits : int;  (** give up after this many resends *)
+  seen_window : int;
+      (** receiver-side dedup window: remember at most this many recent
+          sequence numbers *)
 }
 
 val default_params : params
 (** s_max 8192 B (sized to cover the worst-case control burst of the
     paper's 8x8 evaluation networks, see the Section 5.2 audit),
-    r_max 10 000/s, d_max 1 ms, retransmit after 4 ms, 8 attempts. *)
+    r_max 10 000/s, d_max 1 ms, retransmit after 4 ms, 8 attempts,
+    4096-entry dedup window. *)
+
+type impairment = dir:[ `Data | `Ack ] -> bytes:int -> now:float -> float list
+(** Fate of one transmission: extra delays, one per surviving copy
+    (empty list = lost, two entries = duplicated).  Called once per RCC
+    message copy offered to the link ([`Data]) and once per
+    acknowledgment ([`Ack]). *)
 
 type t
 
 val create :
+  ?impair:impairment ->
   Sim.Engine.t ->
   params:params ->
   link:int ->
@@ -40,9 +57,20 @@ val send : t -> Control.t -> unit
 val set_alive : t -> bool -> unit
 (** A dead link loses RCC messages and their acknowledgments; pending
     retransmissions keep trying until [max_retransmits] so that messages
-    survive short outages (repair scenarios). *)
+    survive short outages (repair scenarios).  On the dead->alive
+    transition, receiver dedup state that can no longer match a
+    retransmission is pruned. *)
 
 val alive : t -> bool
+
+val set_impairment : t -> impairment option -> unit
+(** Attach (or detach) the delivery hook; [None] restores the exact
+    unimpaired behaviour. *)
+
+val set_drop_handler : t -> (unit -> unit) -> unit
+(** Called each time an RCC message is abandoned after
+    [max_retransmits].  A persistent absence of acknowledgments is the
+    sender-side failure signal the heartbeat detector consumes. *)
 
 val queue_length : t -> int
 (** Control messages waiting for an RCC slot. *)
@@ -58,3 +86,7 @@ val stats_delivered : t -> int
 
 val stats_dropped : t -> int
 (** RCC messages abandoned after [max_retransmits]. *)
+
+val seen_size : t -> int
+(** Entries currently held in the receiver-side dedup table (bounded by
+    [seen_window]). *)

@@ -48,7 +48,7 @@ let random_events rng topo ~count =
       | 2 -> `Fail_node (at, Sim.Prng.int rng n)
       | _ -> `Repair_node (at, Sim.Prng.int rng n))
 
-let run_fuzz ~seed ~reconfigure =
+let run_fuzz ?(impair = false) ?(heartbeat = false) ~seed ~reconfigure () =
   let topo, ns = build_network seed in
   let config =
     {
@@ -56,9 +56,16 @@ let run_fuzz ~seed ~reconfigure =
       Bcp.Protocol.rejoin_timeout = 0.05;
       rejoin_retry = 0.01;
       reconfigure_netstate = reconfigure;
+      detector =
+        (if heartbeat then Bcp.Protocol.Heartbeat Bcp.Detector.default_params
+         else Bcp.Protocol.Oracle);
     }
   in
   let sim = Bcp.Simnet.create ~config ns in
+  if impair then
+    Bcp.Simnet.set_impairment sim
+      (Failures.Impair.create ~seed:(seed * 7 + 1)
+         ~default:(Failures.Impair.make ~loss:0.15 ~dup:0.1 ~jitter:3e-4 ()) ());
   let rng = Sim.Prng.create (seed * 31) in
   List.iter
     (function
@@ -107,8 +114,8 @@ let check_netstate_invariants ns =
       if total > l.Net.Topology.capacity +. 1e-6 then
         Alcotest.failf "link %d over capacity after reconfiguration" id)
 
-let fuzz_case ~reconfigure seed () =
-  let topo, ns, sim = run_fuzz ~seed ~reconfigure in
+let fuzz_case ?impair ?heartbeat ~reconfigure seed () =
+  let topo, ns, sim = run_fuzz ?impair ?heartbeat ~seed ~reconfigure () in
   check_pools_non_negative topo sim;
   check_records ns sim;
   if reconfigure then check_netstate_invariants ns;
@@ -159,6 +166,22 @@ let () =
               `Quick
               (fuzz_case ~reconfigure:true seed))
           [ 7; 8; 9 ] );
+      ( "protocol-impaired",
+        List.map
+          (fun seed ->
+            Alcotest.test_case
+              (Printf.sprintf "15%% loss + dup + jitter, seed %d" seed)
+              `Quick
+              (fuzz_case ~impair:true ~reconfigure:false seed))
+          [ 21; 22; 23 ] );
+      ( "protocol-heartbeat",
+        List.map
+          (fun seed ->
+            Alcotest.test_case
+              (Printf.sprintf "heartbeat detector under impairment, seed %d" seed)
+              `Quick
+              (fuzz_case ~impair:true ~heartbeat:true ~reconfigure:false seed))
+          [ 31; 32; 33 ] );
       ( "static",
         List.map
           (fun seed ->
