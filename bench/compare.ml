@@ -1,0 +1,157 @@
+(* Benchmark comparison gate.
+
+   Usage: compare BASELINE.json FRESH.json [--timing-tolerance PCT]
+
+   Diffs a fresh bcp-bench/v1 results file against a committed baseline:
+
+   - Correctness: every table in the baseline must appear in the fresh
+     run with identical columns, row labels and cells (the cells are the
+     rendered strings of the text tables, so this is the same check as a
+     byte-diff of the rendered output).  Any mismatch fails the gate.
+   - Timing: when both files carry wall-clock data, a fresh table (or
+     the total) slower than baseline by more than the tolerance
+     (default 20%) fails the gate.  Baselines committed with
+     [--omit-timings] skip this check, keeping the gate independent of
+     the machine that produced the baseline.
+
+   Exit codes: 0 ok, 1 drift or regression, 2 usage / IO / parse error. *)
+
+let errors = ref 0
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr errors;
+      Printf.printf "FAIL %s\n" msg)
+    fmt
+
+let usage () =
+  prerr_endline
+    "usage: compare BASELINE.json FRESH.json [--timing-tolerance PCT]";
+  exit 2
+
+let load path =
+  let content =
+    try
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    with Sys_error msg ->
+      Printf.eprintf "compare: cannot read %s: %s\n" path msg;
+      exit 2
+  in
+  match Eval.Json.of_string content with
+  | Ok v -> v
+  | Error msg ->
+    Printf.eprintf "compare: %s: %s\n" path msg;
+    exit 2
+
+let str_member k j =
+  Option.bind (Eval.Json.member k j) Eval.Json.to_string_opt
+
+let float_member k j =
+  Option.bind (Eval.Json.member k j) Eval.Json.to_float_opt
+
+let list_member k j =
+  match Eval.Json.member k j with Some v -> Eval.Json.to_list v | None -> []
+
+let table_title t = Option.value ~default:"<untitled>" (str_member "title" t)
+
+(* Rows as (label, cells) pairs; columns as a string list. *)
+let strings j = List.filter_map Eval.Json.to_string_opt (Eval.Json.to_list j)
+
+let table_columns t =
+  match Eval.Json.member "columns" t with Some c -> strings c | None -> []
+
+let table_rows t =
+  List.map
+    (fun r ->
+      ( Option.value ~default:"" (str_member "label" r),
+        match Eval.Json.member "cells" r with
+        | Some c -> strings c
+        | None -> [] ))
+    (list_member "rows" t)
+
+let compare_table ~title base fresh =
+  let bc = table_columns base and fc = table_columns fresh in
+  if bc <> fc then
+    fail "%s: columns differ\n  baseline: %s\n  fresh:    %s" title
+      (String.concat " | " bc) (String.concat " | " fc);
+  let br = table_rows base and fr = table_rows fresh in
+  if List.length br <> List.length fr then
+    fail "%s: %d rows in baseline, %d in fresh" title (List.length br)
+      (List.length fr)
+  else
+    List.iter2
+      (fun (bl, bcells) (fl, fcells) ->
+        if bl <> fl then fail "%s: row label %S became %S" title bl fl
+        else if bcells <> fcells then
+          fail "%s / %s: cells differ\n  baseline: %s\n  fresh:    %s" title bl
+            (String.concat " | " bcells)
+            (String.concat " | " fcells))
+      br fr
+
+let check_timing ~tolerance ~what base fresh =
+  match (base, fresh) with
+  | Some b, Some f when b > 0.0 ->
+    let ratio = f /. b in
+    if ratio > 1.0 +. tolerance then
+      fail "%s: %.3fs -> %.3fs (+%.0f%% > %.0f%% tolerance)" what b f
+        ((ratio -. 1.0) *. 100.0)
+        (tolerance *. 100.0)
+  | _ -> () (* baseline committed without timings: skip *)
+
+let () =
+  let tolerance = ref 0.20 in
+  let positional = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--timing-tolerance" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some p when p >= 0.0 -> tolerance := p /. 100.0
+      | _ -> usage ());
+      parse rest
+    | a :: _ when String.length a > 1 && a.[0] = '-' -> usage ()
+    | a :: rest ->
+      positional := a :: !positional;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let baseline_path, fresh_path =
+    match List.rev !positional with [ b; f ] -> (b, f) | _ -> usage ()
+  in
+  let base = load baseline_path and fresh = load fresh_path in
+  (match (str_member "schema" base, str_member "schema" fresh) with
+  | Some "bcp-bench/v1", Some "bcp-bench/v1" -> ()
+  | b, f ->
+    Printf.eprintf "compare: expected schema bcp-bench/v1 (got %s vs %s)\n"
+      (Option.value ~default:"<none>" b)
+      (Option.value ~default:"<none>" f);
+    exit 2);
+  let fresh_tables = list_member "tables" fresh in
+  let find_fresh title =
+    List.find_opt (fun t -> table_title t = title) fresh_tables
+  in
+  let base_tables = list_member "tables" base in
+  List.iter
+    (fun bt ->
+      let title = table_title bt in
+      match find_fresh title with
+      | None -> fail "%s: missing from fresh results" title
+      | Some ft ->
+        compare_table ~title bt ft;
+        check_timing ~tolerance:!tolerance ~what:title
+          (float_member "wall_s" bt) (float_member "wall_s" ft))
+    base_tables;
+  check_timing ~tolerance:!tolerance ~what:"total wall time"
+    (float_member "total_wall_s" base)
+    (float_member "total_wall_s" fresh);
+  if !errors > 0 then begin
+    Printf.printf "\n%d failure(s) vs baseline %s\n" !errors baseline_path;
+    exit 1
+  end
+  else
+    Printf.printf "OK: %d table(s) match baseline %s\n"
+      (List.length base_tables) baseline_path

@@ -4,111 +4,189 @@
    (8x8 torus / mesh, 4032 connections) and prints them in the paper's
    layout — this is the reproduction harness proper.
 
-   Part 2 runs Bechamel micro-benchmarks, one per experiment, on reduced
-   (4x4) instances so each table/figure has a timed kernel, plus kernels
-   for the core data structures. *)
+   Part 2 runs the same experiments on reduced (4x4) instances — a
+   minutes-to-seconds-scale suite used by CI's bench-smoke job.  With
+   [--micro] it additionally runs Bechamel micro-benchmarks on the core
+   data-structure kernels.
+
+   Flags:
+     --part1-only / --part2-only   select a part (default: both)
+     --jobs N                      domain count for scenario sweeps
+     --json FILE                   machine-readable results (bcp-bench/v1)
+     --omit-timings                drop wall-clock fields from the JSON
+                                   (used to commit stable baselines)
+     --micro                       run the Bechamel micro-benchmarks
+     --seed N                      PRNG seed (default 42) *)
+
+let seed = ref 42
+let double_sample = 300 (* of 2016 double-node pairs; keeps the run minutes-scale *)
+
+(* Every table produced during the run, with its wall-clock cost, in
+   emission order. *)
+let collected : (Eval.Report.t * float) list ref = ref []
+
+(* Bechamel kernel timings (name, ns/run), when [--micro] ran. *)
+let kernel_timings : (string * float) list ref = ref []
 
 let hr title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
-let seed = 42
-let double_sample = 300 (* of 2016 double-node pairs; keeps the run minutes-scale *)
+(* Time the construction of a report, print it, and record it for the
+   JSON sink.  The timing never influences the table contents, so the
+   rendered output stays byte-identical across job counts. *)
+let table mk =
+  let t0 = Unix.gettimeofday () in
+  let report = mk () in
+  let dt = Unix.gettimeofday () -. t0 in
+  collected := (report, dt) :: !collected;
+  Eval.Report.print report
 
 let part1 () =
+  let seed = !seed in
   hr "FIGURE 9 (a): spare bandwidth vs load, single backup, 8x8 torus";
-  Eval.Report.print
-    (Eval.Spare_bw.report Eval.Setup.Torus8 ~backups:1
-       (Eval.Spare_bw.run ~seed Eval.Setup.Torus8 ~backups:1));
+  table (fun () ->
+      Eval.Spare_bw.report Eval.Setup.Torus8 ~backups:1
+        (Eval.Spare_bw.run ~seed Eval.Setup.Torus8 ~backups:1));
   hr "FIGURE 9 (b): spare bandwidth vs load, double backups, 8x8 torus";
-  Eval.Report.print
-    (Eval.Spare_bw.report Eval.Setup.Torus8 ~backups:2
-       (Eval.Spare_bw.run ~seed Eval.Setup.Torus8 ~backups:2));
+  table (fun () ->
+      Eval.Spare_bw.report Eval.Setup.Torus8 ~backups:2
+        (Eval.Spare_bw.run ~seed Eval.Setup.Torus8 ~backups:2));
   hr "FIGURE 9 (c): spare bandwidth vs load, single backup, 8x8 mesh";
-  Eval.Report.print
-    (Eval.Spare_bw.report Eval.Setup.Mesh8 ~backups:1
-       (Eval.Spare_bw.run ~seed Eval.Setup.Mesh8 ~backups:1));
+  table (fun () ->
+      Eval.Spare_bw.report Eval.Setup.Mesh8 ~backups:1
+        (Eval.Spare_bw.run ~seed Eval.Setup.Mesh8 ~backups:1));
 
   hr "TABLE 1 (a): R_fast, same mux degrees, single backup, 8x8 torus";
-  Eval.Report.print
-    (Eval.Rfast.table_same_degree ~seed ~double_sample Eval.Setup.Torus8
-       ~backups:1);
+  table (fun () ->
+      Eval.Rfast.table_same_degree ~seed ~double_sample Eval.Setup.Torus8
+        ~backups:1);
   hr "TABLE 1 (b): R_fast, same mux degrees, double backups, 8x8 torus";
-  Eval.Report.print
-    (Eval.Rfast.table_same_degree ~seed ~double_sample Eval.Setup.Torus8
-       ~backups:2);
+  table (fun () ->
+      Eval.Rfast.table_same_degree ~seed ~double_sample Eval.Setup.Torus8
+        ~backups:2);
   hr "TABLE 1 (c): R_fast, same mux degrees, single backup, 8x8 mesh";
-  Eval.Report.print
-    (Eval.Rfast.table_same_degree ~seed ~double_sample Eval.Setup.Mesh8
-       ~backups:1);
+  table (fun () ->
+      Eval.Rfast.table_same_degree ~seed ~double_sample Eval.Setup.Mesh8
+        ~backups:1);
 
   hr "TABLE 2 (a): R_fast, mixed mux degrees, single backup, 8x8 torus";
-  Eval.Report.print
-    (Eval.Rfast.table_mixed_degrees ~seed ~double_sample Eval.Setup.Torus8
-       ~backups:1);
+  table (fun () ->
+      Eval.Rfast.table_mixed_degrees ~seed ~double_sample Eval.Setup.Torus8
+        ~backups:1);
   hr "TABLE 2 (b): R_fast, mixed mux degrees, double backups, 8x8 torus";
-  Eval.Report.print
-    (Eval.Rfast.table_mixed_degrees ~seed ~double_sample Eval.Setup.Torus8
-       ~backups:2);
+  table (fun () ->
+      Eval.Rfast.table_mixed_degrees ~seed ~double_sample Eval.Setup.Torus8
+        ~backups:2);
   hr "TABLE 2 (c): R_fast, mixed mux degrees, single backup, 8x8 mesh";
-  Eval.Report.print
-    (Eval.Rfast.table_mixed_degrees ~seed ~double_sample Eval.Setup.Mesh8
-       ~backups:1);
+  table (fun () ->
+      Eval.Rfast.table_mixed_degrees ~seed ~double_sample Eval.Setup.Mesh8
+        ~backups:1);
 
   hr "TABLE 3 (a): R_fast, brute-force multiplexing, 8x8 torus";
-  Eval.Report.print
-    (Eval.Rfast.table_brute_force ~seed ~double_sample Eval.Setup.Torus8);
+  table (fun () ->
+      Eval.Rfast.table_brute_force ~seed ~double_sample Eval.Setup.Torus8);
   hr "TABLE 3 (b): R_fast, brute-force multiplexing, 8x8 mesh";
-  Eval.Report.print
-    (Eval.Rfast.table_brute_force ~seed ~double_sample Eval.Setup.Mesh8);
+  table (fun () ->
+      Eval.Rfast.table_brute_force ~seed ~double_sample Eval.Setup.Mesh8);
 
   hr "SECTION 5.3: recovery delay vs bound (event-driven BCP, 8x8 torus)";
   let est = Eval.Setup.build ~seed ~backups:1 ~mux_degree:3 Eval.Setup.Torus8 in
   Printf.printf "(established %d, rejected %d, load %.2f%%, spare %.2f%%)\n"
     est.Eval.Setup.established est.Eval.Setup.rejected est.Eval.Setup.load
     est.Eval.Setup.spare;
-  Eval.Report.print
-    (Eval.Recovery_delay.report
-       [ Eval.Recovery_delay.measure ~seed ~scenario_count:12 est.Eval.Setup.ns ]);
+  table (fun () ->
+      Eval.Recovery_delay.report
+        [ Eval.Recovery_delay.measure ~seed ~scenario_count:12 est.Eval.Setup.ns ]);
 
   hr "SECTION 4.2: channel-switching schemes 1/2/3";
-  Eval.Report.print
-    (Eval.Recovery_delay.compare_schemes ~seed ~scenario_count:6
-       est.Eval.Setup.ns);
-  Eval.Report.print (Eval.Ablations.scheme_coverage ~seed est.Eval.Setup.ns);
+  table (fun () ->
+      Eval.Recovery_delay.compare_schemes ~seed ~scenario_count:6
+        est.Eval.Setup.ns);
+  table (fun () -> Eval.Ablations.scheme_coverage ~seed est.Eval.Setup.ns);
 
   hr "SECTION 4.3: priority-based activation";
-  Eval.Report.print
-    (Eval.Ablations.priority_activation ~seed ~double_sample Eval.Setup.Torus8);
+  table (fun () ->
+      Eval.Ablations.priority_activation ~seed ~double_sample Eval.Setup.Torus8);
 
   hr "SECTION 7.1/7.4: hot-spot (inhomogeneous) traffic";
-  Eval.Report.print (Eval.Ablations.inhomogeneous ~seed Eval.Setup.Torus8);
+  table (fun () -> Eval.Ablations.inhomogeneous ~seed Eval.Setup.Torus8);
 
   hr "FIGURE 8: message loss during failure recovery (data plane)";
-  Eval.Report.print (Eval.Message_loss.report (Eval.Message_loss.run ~seed Eval.Setup.Torus8));
+  table (fun () ->
+      Eval.Message_loss.report (Eval.Message_loss.run ~seed Eval.Setup.Torus8));
 
   hr "EXTENSION: spare-aware backup routing [HAN97b]";
-  Eval.Report.print (Eval.Ablations.backup_routing ~seed Eval.Setup.Torus8);
+  table (fun () -> Eval.Ablations.backup_routing ~seed Eval.Setup.Torus8);
 
   hr "EXTENSION: R_fast under k simultaneous link failures";
-  Eval.Report.print (Eval.Multi_failure.sweep ~seed Eval.Setup.Torus8);
+  table (fun () -> Eval.Multi_failure.sweep ~seed Eval.Setup.Torus8);
 
   hr "SECTION 8: BCP vs reactive re-establishment [BAN93]";
-  Eval.Report.print
-    (Eval.Baselines.report Eval.Setup.Torus8
-       (Eval.Baselines.compare ~seed ~double_sample Eval.Setup.Torus8));
+  table (fun () ->
+      Eval.Baselines.report Eval.Setup.Torus8
+        (Eval.Baselines.compare ~seed ~double_sample Eval.Setup.Torus8));
 
   hr "SECTION 7.1: sensitivity to traffic and topology + S_max audit";
-  Eval.Report.print (Eval.Sensitivity.traffic ~seed Eval.Setup.Torus8);
-  Eval.Report.print (Eval.Sensitivity.topology ~seed ());
-  Eval.Report.print
-    (Eval.Sensitivity.s_max_audit est.Eval.Setup.ns Rcc.Transport.default_params);
+  table (fun () -> Eval.Sensitivity.traffic ~seed Eval.Setup.Torus8);
+  table (fun () -> Eval.Sensitivity.topology ~seed ());
+  table (fun () ->
+      Eval.Sensitivity.s_max_audit est.Eval.Setup.ns Rcc.Transport.default_params);
 
   hr "FIGURE 3: Markov reliability models vs combinatorial P_r";
-  Eval.Report.print
-    (Eval.Reliability_cmp.report
-       (Eval.Reliability_cmp.compute ~hops:[ 1; 2; 4; 7; 10; 14 ] ()))
+  table (fun () ->
+      Eval.Reliability_cmp.report
+        (Eval.Reliability_cmp.compute ~hops:[ 1; 2; 4; 7; 10; 14 ] ()))
 
-(* ------------- Part 2: Bechamel micro-benchmarks ------------- *)
+(* ------------- Part 2: reduced 4x4 suite (CI bench-smoke) ------------- *)
+
+let part2 () =
+  let seed = !seed in
+  hr "4x4 FIGURE 9: spare bandwidth vs load, single backup, 4x4 torus";
+  table (fun () ->
+      Eval.Spare_bw.report Eval.Setup.Torus4 ~backups:1
+        (Eval.Spare_bw.run ~seed Eval.Setup.Torus4 ~backups:1));
+
+  hr "4x4 TABLE 1: R_fast, same mux degrees, single backup, 4x4 torus";
+  table (fun () ->
+      Eval.Rfast.table_same_degree ~seed Eval.Setup.Torus4 ~backups:1);
+
+  hr "4x4 TABLE 2: R_fast, mixed mux degrees, single backup, 4x4 mesh";
+  table (fun () ->
+      Eval.Rfast.table_mixed_degrees ~seed Eval.Setup.Mesh4 ~backups:1);
+
+  hr "4x4 TABLE 3: R_fast, brute-force multiplexing, 4x4 torus";
+  table (fun () -> Eval.Rfast.table_brute_force ~seed Eval.Setup.Torus4);
+
+  hr "4x4 SECTION 5.3: recovery delay vs bound (event-driven BCP)";
+  let est = Eval.Setup.build ~seed ~backups:1 ~mux_degree:3 Eval.Setup.Torus4 in
+  table (fun () ->
+      Eval.Recovery_delay.report
+        [ Eval.Recovery_delay.measure ~seed ~scenario_count:8 est.Eval.Setup.ns ]);
+
+  hr "4x4 SECTION 4.2: channel-switching scheme coverage";
+  table (fun () -> Eval.Ablations.scheme_coverage ~seed est.Eval.Setup.ns);
+
+  hr "4x4 SECTION 7.1/7.4: hot-spot (inhomogeneous) traffic";
+  table (fun () -> Eval.Ablations.inhomogeneous ~seed Eval.Setup.Torus4);
+
+  hr "4x4 FIGURE 8: message loss during failure recovery";
+  table (fun () ->
+      Eval.Message_loss.report (Eval.Message_loss.run ~seed Eval.Setup.Torus4));
+
+  hr "4x4 EXTENSION: R_fast under k simultaneous link failures";
+  table (fun () -> Eval.Multi_failure.sweep ~seed Eval.Setup.Torus4);
+
+  hr "4x4 CHAOS: impairment sweep, oracle detector";
+  table (fun () ->
+      Eval.Chaos.sweep ~seed ~scenario_count:4 ~detector:`Oracle
+        Eval.Setup.Torus4);
+
+  hr "FIGURE 3: Markov reliability models vs combinatorial P_r";
+  table (fun () ->
+      Eval.Reliability_cmp.report
+        (Eval.Reliability_cmp.compute ~hops:[ 1; 2; 4; 7; 10; 14 ] ()))
+
+(* ------------- Bechamel micro-benchmarks (--micro) ------------- *)
 
 open Bechamel
 open Toolkit
@@ -118,7 +196,7 @@ let small_net () = Net.Builders.torus ~rows:4 ~cols:4 ~capacity:50.0
 let establish_small backups mux_degree =
   let topo = small_net () in
   let ns = Bcp.Netstate.create topo () in
-  let rng = Sim.Prng.create seed in
+  let rng = Sim.Prng.create !seed in
   let requests =
     Workload.Generator.shuffled rng
       (Workload.Generator.all_pairs ~backups ~mux_degree topo)
@@ -126,11 +204,11 @@ let establish_small backups mux_degree =
   ignore (Eval.Setup.establish_all ns requests);
   ns
 
-let bench_fig9_kernel =
+let bench_fig9_kernel () =
   Test.make ~name:"fig9-kernel (4x4 torus establishment, mux=3)"
     (Staged.stage (fun () -> ignore (establish_small 1 3)))
 
-let bench_table1_kernel =
+let bench_table1_kernel () =
   let ns = establish_small 1 3 in
   let topo = Bcp.Netstate.topology ns in
   let scenarios = Failures.Scenario.all_single_links topo in
@@ -142,10 +220,10 @@ let bench_table1_kernel =
                (Bcp.Recovery.simulate ns ~failed:sc.Failures.Scenario.components))
            scenarios))
 
-let bench_table2_kernel =
+let bench_table2_kernel () =
   let topo = small_net () in
   let ns = Bcp.Netstate.create topo () in
-  let rng = Sim.Prng.create seed in
+  let rng = Sim.Prng.create !seed in
   let requests =
     Workload.Generator.with_mux_mix ~degrees:[ 1; 3; 5; 6 ]
       (Workload.Generator.shuffled rng (Workload.Generator.all_pairs topo))
@@ -160,10 +238,10 @@ let bench_table2_kernel =
                (Bcp.Recovery.simulate ns ~failed:sc.Failures.Scenario.components))
            scenarios))
 
-let bench_table3_kernel =
+let bench_table3_kernel () =
   let topo = small_net () in
   let ns = Bcp.Netstate.create ~policy:(Bcp.Netstate.Brute_force 5.0) topo () in
-  let rng = Sim.Prng.create seed in
+  let rng = Sim.Prng.create !seed in
   ignore
     (Eval.Setup.establish_all ns
        (Workload.Generator.shuffled rng (Workload.Generator.all_pairs topo)));
@@ -176,7 +254,7 @@ let bench_table3_kernel =
                (Bcp.Recovery.simulate ns ~failed:sc.Failures.Scenario.components))
            scenarios))
 
-let bench_delay_kernel =
+let bench_delay_kernel () =
   let ns = establish_small 1 3 in
   Test.make ~name:"delay-kernel (event-driven recovery, 1 link)"
     (Staged.stage (fun () ->
@@ -185,12 +263,12 @@ let bench_delay_kernel =
          Bcp.Simnet.run ~until:0.1 sim;
          Bcp.Simnet.finalize sim))
 
-let bench_markov_kernel =
+let bench_markov_kernel () =
   Test.make ~name:"markov-kernel (Fig 3 R(t) + MTTF)"
     (Staged.stage (fun () ->
          ignore (Eval.Reliability_cmp.compute ~hops:[ 1; 4; 10 ] ())))
 
-let bench_mux_register =
+let bench_mux_register () =
   let topo = small_net () in
   let mux = Bcp.Mux.create topo ~lambda:1e-4 in
   let mk i =
@@ -213,13 +291,13 @@ let bench_mux_register =
   Test.make ~name:"mux required_with (200 backups on link)"
     (Staged.stage (fun () -> ignore (Bcp.Mux.required_with mux ~link:0 (mk 9999))))
 
-let bench_dijkstra =
+let bench_dijkstra () =
   let topo = Net.Builders.torus ~rows:8 ~cols:8 ~capacity:200.0 in
   Test.make ~name:"shortest-path (8x8 torus, corner to corner)"
     (Staged.stage (fun () ->
          ignore (Routing.Shortest.shortest_path topo ~src:0 ~dst:63)))
 
-let bench_engine =
+let bench_engine () =
   Test.make ~name:"event engine (10k timers)"
     (Staged.stage (fun () ->
          let e = Sim.Engine.create () in
@@ -228,17 +306,17 @@ let bench_engine =
          done;
          Sim.Engine.run e))
 
-let benchmarks =
+let benchmarks () =
   [
-    bench_fig9_kernel;
-    bench_table1_kernel;
-    bench_table2_kernel;
-    bench_table3_kernel;
-    bench_delay_kernel;
-    bench_markov_kernel;
-    bench_mux_register;
-    bench_dijkstra;
-    bench_engine;
+    bench_fig9_kernel ();
+    bench_table1_kernel ();
+    bench_table2_kernel ();
+    bench_table3_kernel ();
+    bench_delay_kernel ();
+    bench_markov_kernel ();
+    bench_mux_register ();
+    bench_dijkstra ();
+    bench_engine ();
   ]
 
 let run_bechamel () =
@@ -256,14 +334,114 @@ let run_bechamel () =
       Hashtbl.iter
         (fun name result ->
           match Analyze.OLS.estimates result with
-          | Some [ est ] -> Printf.printf "  %-55s %14.1f ns/run\n%!" name est
+          | Some [ est ] ->
+            kernel_timings := (name, est) :: !kernel_timings;
+            Printf.printf "  %-55s %14.1f ns/run\n%!" name est
           | _ -> Printf.printf "  %-55s (no estimate)\n%!" name)
         results)
-    benchmarks
+    (benchmarks ())
+
+(* ------------- JSON output (schema bcp-bench/v1) ------------- *)
+
+let write_json ~path ~suite ~omit_timings ~total_wall =
+  let tables =
+    List.rev_map
+      (fun (report, wall) ->
+        match Eval.Report.to_json report with
+        | Eval.Json.Obj fields when not omit_timings ->
+          Eval.Json.Obj (fields @ [ ("wall_s", Eval.Json.Float wall) ])
+        | j -> j)
+      !collected
+  in
+  let base =
+    [
+      ("schema", Eval.Json.String "bcp-bench/v1");
+      ("suite", Eval.Json.String suite);
+      ("seed", Eval.Json.Int !seed);
+      ("jobs", Eval.Json.Int (Sim.Pool.current_jobs ()));
+      ("tables", Eval.Json.List tables);
+    ]
+  in
+  let timed =
+    if omit_timings then base
+    else
+      base
+      @ [
+          ( "timings",
+            Eval.Json.List
+              (List.rev_map
+                 (fun (name, ns) ->
+                   Eval.Json.Obj
+                     [
+                       ("name", Eval.Json.String name);
+                       ("ns_per_run", Eval.Json.Float ns);
+                     ])
+                 !kernel_timings) );
+          ("total_wall_s", Eval.Json.Float total_wall);
+        ]
+  in
+  let oc = open_out path in
+  output_string oc (Eval.Json.to_string ~indent:2 (Eval.Json.Obj timed));
+  output_char oc '\n';
+  close_out oc
+
+(* ------------- CLI ------------- *)
 
 let () =
-  let t0 = Unix.gettimeofday ()in
-  part1 ();
-  hr "MICRO-BENCHMARKS (Bechamel, reduced-scale kernels)";
-  run_bechamel ();
-  Printf.printf "\ntotal wall time: %.1f s\n" (Unix.gettimeofday () -. t0)
+  let part1_only = ref false in
+  let part2_only = ref false in
+  let micro = ref false in
+  let json_path = ref None in
+  let omit_timings = ref false in
+  let jobs = ref 1 in
+  let usage = "bench [--part1-only|--part2-only] [--jobs N] [--json FILE] [--omit-timings] [--micro] [--seed N]" in
+  let spec =
+    [
+      ("--part1-only", Arg.Set part1_only, " Run only the full-scale 8x8 suite");
+      ("--part2-only", Arg.Set part2_only, " Run only the reduced 4x4 suite");
+      ("--jobs", Arg.Set_int jobs, "N Domains for scenario sweeps (default 1)");
+      ( "--json",
+        Arg.String (fun s -> json_path := Some s),
+        "FILE Write machine-readable results (schema bcp-bench/v1)" );
+      ( "--omit-timings",
+        Arg.Set omit_timings,
+        " Omit wall-clock fields from the JSON (stable baselines)" );
+      ("--micro", Arg.Set micro, " Run the Bechamel micro-benchmarks");
+      ("--seed", Arg.Set_int seed, "N PRNG seed (default 42)");
+    ]
+  in
+  let die msg =
+    prerr_endline msg;
+    Arg.usage spec usage;
+    exit 2
+  in
+  (try Arg.parse_argv Sys.argv (Arg.align spec)
+         (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
+         usage
+   with
+  | Arg.Bad msg -> die msg
+  | Arg.Help msg ->
+    print_string msg;
+    exit 0);
+  if !jobs < 1 then die (Printf.sprintf "--jobs must be >= 1 (got %d)" !jobs);
+  if !part1_only && !part2_only then
+    die "--part1-only and --part2-only are mutually exclusive";
+  Sim.Pool.set_jobs !jobs;
+  let t0 = Unix.gettimeofday () in
+  if not !part2_only then part1 ();
+  if not !part1_only then part2 ();
+  if !micro then begin
+    hr "MICRO-BENCHMARKS (Bechamel, reduced-scale kernels)";
+    run_bechamel ()
+  end;
+  let total_wall = Unix.gettimeofday () -. t0 in
+  Printf.printf "\ntotal wall time: %.1f s\n" total_wall;
+  (match !json_path with
+  | None -> ()
+  | Some path ->
+    let suite =
+      if !part1_only then "part1"
+      else if !part2_only then "part2"
+      else "full"
+    in
+    write_json ~path ~suite ~omit_timings:!omit_timings ~total_wall)

@@ -7,11 +7,18 @@ let network_conv =
   let parse = function
     | "torus" -> Ok Eval.Setup.Torus8
     | "mesh" -> Ok Eval.Setup.Mesh8
-    | s -> Error (`Msg (Printf.sprintf "unknown network %S (torus|mesh)" s))
+    | "torus4" -> Ok Eval.Setup.Torus4
+    | "mesh4" -> Ok Eval.Setup.Mesh4
+    | s ->
+      Error (`Msg (Printf.sprintf "unknown network %S (torus|mesh|torus4|mesh4)" s))
   in
   let print ppf n =
     Format.pp_print_string ppf
-      (match n with Eval.Setup.Torus8 -> "torus" | Eval.Setup.Mesh8 -> "mesh")
+      (match n with
+      | Eval.Setup.Torus8 -> "torus"
+      | Eval.Setup.Mesh8 -> "mesh"
+      | Eval.Setup.Torus4 -> "torus4"
+      | Eval.Setup.Mesh4 -> "mesh4")
   in
   Arg.conv (parse, print)
 
@@ -19,7 +26,8 @@ let network_arg =
   Arg.(
     value
     & opt network_conv Eval.Setup.Torus8
-    & info [ "network"; "n" ] ~docv:"NET" ~doc:"Network: torus or mesh.")
+    & info [ "network"; "n" ] ~docv:"NET"
+        ~doc:"Network: torus or mesh (8x8), torus4 or mesh4 (reduced 4x4).")
 
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
@@ -41,134 +49,220 @@ let csv_arg =
     value & flag
     & info [ "csv" ] ~doc:"Emit the table as CSV instead of aligned text.")
 
-let emit ~csv report =
-  if csv then print_string (Eval.Report.to_csv report)
+(* [--jobs 0] and negative values are rejected at parse time, so they
+   surface as a usage error (exit code 2), never a raw exception. *)
+let jobs_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | None -> Error (`Msg (Printf.sprintf "invalid job count %S" s))
+    | Some n when n < 1 ->
+      Error (`Msg (Printf.sprintf "--jobs must be >= 1 (got %d)" n))
+    | Some n -> Ok n
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let jobs_arg =
+  Arg.(
+    value & opt jobs_conv 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Run scenario sweeps on N domains. Reports are byte-identical \
+           for every N.")
+
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Also write every emitted table to FILE as JSON.")
+
+(* Output context shared by every subcommand: rendering mode, optional
+   JSON sink, and the domain-pool size. *)
+type ctx = { csv : bool; json : string option; collected : Eval.Report.t list ref }
+
+let ctx_term =
+  Term.(
+    const (fun csv json jobs ->
+        Sim.Pool.set_jobs jobs;
+        { csv; json; collected = ref [] })
+    $ csv_arg $ json_arg $ jobs_arg)
+
+let emit ctx report =
+  ctx.collected := report :: !(ctx.collected);
+  if ctx.csv then print_string (Eval.Report.to_csv report)
   else Eval.Report.print report
+
+let write_json ctx =
+  match ctx.json with
+  | None -> ()
+  | Some path ->
+    let doc =
+      Eval.Json.Obj
+        [
+          ("schema", Eval.Json.String "bcp-report/v1");
+          ("jobs", Eval.Json.Int (Sim.Pool.current_jobs ()));
+          ( "reports",
+            Eval.Json.List
+              (List.rev_map Eval.Report.to_json !(ctx.collected)) );
+        ]
+    in
+    let oc = open_out path in
+    output_string oc (Eval.Json.to_string ~indent:2 doc);
+    output_char oc '\n';
+    close_out oc
+
+(* Run a subcommand body, then flush the JSON sink if requested. *)
+let finishing ctx body =
+  body ();
+  write_json ctx
 
 let scenario_count_arg =
   Arg.(
     value & opt int 16
     & info [ "scenarios" ] ~docv:"N" ~doc:"Failure scenarios to simulate.")
 
-let run_fig9 ?(csv = false) network backups seed =
+let run_fig9 ctx network backups seed =
   let series = Eval.Spare_bw.run ~seed network ~backups in
-  emit ~csv (Eval.Spare_bw.report network ~backups series)
+  emit ctx (Eval.Spare_bw.report network ~backups series)
 
 let fig9_cmd =
   let doc = "Figure 9: spare bandwidth vs network load." in
   Cmd.v
     (Cmd.info "fig9" ~doc)
     Term.(
-      const (fun csv n b s -> run_fig9 ~csv n b s)
-      $ csv_arg $ network_arg $ backups_arg $ seed_arg)
+      const (fun ctx n b s -> finishing ctx (fun () -> run_fig9 ctx n b s))
+      $ ctx_term $ network_arg $ backups_arg $ seed_arg)
 
-let run_table1 ?(csv = false) network backups seed double_sample =
-  emit ~csv (Eval.Rfast.table_same_degree ~seed ?double_sample network ~backups)
+let run_table1 ctx network backups seed double_sample =
+  emit ctx (Eval.Rfast.table_same_degree ~seed ?double_sample network ~backups)
 
 let table1_cmd =
   let doc = "Table 1: R_fast with uniform multiplexing degrees." in
   Cmd.v
     (Cmd.info "table1" ~doc)
     Term.(
-      const (fun csv n b s d -> run_table1 ~csv n b s d)
-      $ csv_arg $ network_arg $ backups_arg $ seed_arg $ double_sample_arg)
+      const (fun ctx n b s d ->
+          finishing ctx (fun () -> run_table1 ctx n b s d))
+      $ ctx_term $ network_arg $ backups_arg $ seed_arg $ double_sample_arg)
 
-let run_table2 ?(csv = false) network backups seed double_sample =
-  emit ~csv (Eval.Rfast.table_mixed_degrees ~seed ?double_sample network ~backups)
+let run_table2 ctx network backups seed double_sample =
+  emit ctx (Eval.Rfast.table_mixed_degrees ~seed ?double_sample network ~backups)
 
 let table2_cmd =
   let doc = "Table 2: R_fast with mixed multiplexing degrees." in
   Cmd.v
     (Cmd.info "table2" ~doc)
     Term.(
-      const (fun csv n b s d -> run_table2 ~csv n b s d)
-      $ csv_arg $ network_arg $ backups_arg $ seed_arg $ double_sample_arg)
+      const (fun ctx n b s d ->
+          finishing ctx (fun () -> run_table2 ctx n b s d))
+      $ ctx_term $ network_arg $ backups_arg $ seed_arg $ double_sample_arg)
 
-let run_table3 ?(csv = false) network seed double_sample =
-  emit ~csv (Eval.Rfast.table_brute_force ~seed ?double_sample network)
+let run_table3 ctx network seed double_sample =
+  emit ctx (Eval.Rfast.table_brute_force ~seed ?double_sample network)
 
 let table3_cmd =
   let doc = "Table 3: R_fast with brute-force multiplexing." in
   Cmd.v
     (Cmd.info "table3" ~doc)
     Term.(
-      const (fun csv n s d -> run_table3 ~csv n s d)
-      $ csv_arg $ network_arg $ seed_arg $ double_sample_arg)
+      const (fun ctx n s d -> finishing ctx (fun () -> run_table3 ctx n s d))
+      $ ctx_term $ network_arg $ seed_arg $ double_sample_arg)
 
-let run_delay network backups seed scenarios =
+let run_delay ctx network backups seed scenarios =
   let est = Eval.Setup.build ~seed ~backups ~mux_degree:3 network in
   Printf.printf "established %d connections (rejected %d), spare %.2f%%\n\n"
     est.Eval.Setup.established est.Eval.Setup.rejected est.Eval.Setup.spare;
   let stats =
     Eval.Recovery_delay.measure ~seed ~scenario_count:scenarios est.Eval.Setup.ns
   in
-  Eval.Report.print (Eval.Recovery_delay.report [ stats ])
+  emit ctx (Eval.Recovery_delay.report [ stats ])
 
 let delay_cmd =
   let doc = "Section 5.3: measured recovery delay vs the analytic bound." in
   Cmd.v
     (Cmd.info "delay" ~doc)
     Term.(
-      const run_delay $ network_arg $ backups_arg $ seed_arg
-      $ scenario_count_arg)
+      const (fun ctx n b s sc ->
+          finishing ctx (fun () -> run_delay ctx n b s sc))
+      $ ctx_term $ network_arg $ backups_arg $ seed_arg $ scenario_count_arg)
 
-let run_schemes network seed scenarios =
+let run_schemes ctx network seed scenarios =
   let est = Eval.Setup.build ~seed ~backups:1 ~mux_degree:3 network in
-  Eval.Report.print
+  emit ctx
     (Eval.Recovery_delay.compare_schemes ~seed ~scenario_count:scenarios
        est.Eval.Setup.ns);
-  Eval.Report.print (Eval.Ablations.scheme_coverage ~seed est.Eval.Setup.ns)
+  emit ctx (Eval.Ablations.scheme_coverage ~seed est.Eval.Setup.ns)
 
 let schemes_cmd =
   let doc = "Section 4.2: compare channel-switching Schemes 1, 2 and 3." in
   Cmd.v
     (Cmd.info "schemes" ~doc)
-    Term.(const run_schemes $ network_arg $ seed_arg $ scenario_count_arg)
+    Term.(
+      const (fun ctx n s sc -> finishing ctx (fun () -> run_schemes ctx n s sc))
+      $ ctx_term $ network_arg $ seed_arg $ scenario_count_arg)
 
-let run_priority network seed =
-  Eval.Report.print (Eval.Ablations.priority_activation ~seed network)
+let run_priority ctx network seed =
+  emit ctx (Eval.Ablations.priority_activation ~seed network)
 
 let priority_cmd =
   let doc = "Section 4.3: priority-based activation under contention." in
-  Cmd.v (Cmd.info "priority" ~doc) Term.(const run_priority $ network_arg $ seed_arg)
+  Cmd.v
+    (Cmd.info "priority" ~doc)
+    Term.(
+      const (fun ctx n s -> finishing ctx (fun () -> run_priority ctx n s))
+      $ ctx_term $ network_arg $ seed_arg)
 
-let run_hotspot network seed =
-  Eval.Report.print (Eval.Ablations.inhomogeneous ~seed network)
+let run_hotspot ctx network seed =
+  emit ctx (Eval.Ablations.inhomogeneous ~seed network)
 
 let hotspot_cmd =
   let doc = "Section 7.1/7.4: hot-spot traffic, proposed vs brute-force." in
-  Cmd.v (Cmd.info "hotspot" ~doc) Term.(const run_hotspot $ network_arg $ seed_arg)
+  Cmd.v
+    (Cmd.info "hotspot" ~doc)
+    Term.(
+      const (fun ctx n s -> finishing ctx (fun () -> run_hotspot ctx n s))
+      $ ctx_term $ network_arg $ seed_arg)
 
-let run_routing network seed =
-  Eval.Report.print (Eval.Ablations.backup_routing ~seed network)
+let run_routing ctx network seed =
+  emit ctx (Eval.Ablations.backup_routing ~seed network)
 
 let routing_cmd =
   let doc = "Extension: spare-increment-minimising backup routing [HAN97b]." in
-  Cmd.v (Cmd.info "routing" ~doc) Term.(const run_routing $ network_arg $ seed_arg)
+  Cmd.v
+    (Cmd.info "routing" ~doc)
+    Term.(
+      const (fun ctx n s -> finishing ctx (fun () -> run_routing ctx n s))
+      $ ctx_term $ network_arg $ seed_arg)
 
-let run_fig8 network seed =
-  Eval.Report.print (Eval.Message_loss.report (Eval.Message_loss.run ~seed network))
+let run_fig8 ctx network seed =
+  emit ctx (Eval.Message_loss.report (Eval.Message_loss.run ~seed network))
 
 let fig8_cmd =
   let doc = "Figure 8: message loss during failure recovery (data plane)." in
-  Cmd.v (Cmd.info "fig8" ~doc) Term.(const run_fig8 $ network_arg $ seed_arg)
+  Cmd.v
+    (Cmd.info "fig8" ~doc)
+    Term.(
+      const (fun ctx n s -> finishing ctx (fun () -> run_fig8 ctx n s))
+      $ ctx_term $ network_arg $ seed_arg)
 
-let run_sensitivity network seed =
-  Eval.Report.print (Eval.Sensitivity.traffic ~seed network);
-  Eval.Report.print (Eval.Sensitivity.topology ~seed ());
+let run_sensitivity ctx network seed =
+  emit ctx (Eval.Sensitivity.traffic ~seed network);
+  emit ctx (Eval.Sensitivity.topology ~seed ());
   let est = Eval.Setup.build ~seed ~backups:1 ~mux_degree:3 network in
-  Eval.Report.print
+  emit ctx
     (Eval.Sensitivity.s_max_audit est.Eval.Setup.ns Rcc.Transport.default_params)
 
 let sensitivity_cmd =
   let doc = "Section 7.1: traffic/topology sensitivity + S_max audit." in
   Cmd.v
     (Cmd.info "sensitivity" ~doc)
-    Term.(const run_sensitivity $ network_arg $ seed_arg)
+    Term.(
+      const (fun ctx n s -> finishing ctx (fun () -> run_sensitivity ctx n s))
+      $ ctx_term $ network_arg $ seed_arg)
 
-let run_baseline network seed double_sample =
+let run_baseline ctx network seed double_sample =
   let ds = Option.value ~default:300 double_sample in
-  Eval.Report.print
+  emit ctx
     (Eval.Baselines.report network
        (Eval.Baselines.compare ~seed ~double_sample:ds network))
 
@@ -176,14 +270,20 @@ let baseline_cmd =
   let doc = "Section 8: BCP vs reactive re-establishment [BAN93]." in
   Cmd.v
     (Cmd.info "baseline" ~doc)
-    Term.(const run_baseline $ network_arg $ seed_arg $ double_sample_arg)
+    Term.(
+      const (fun ctx n s d -> finishing ctx (fun () -> run_baseline ctx n s d))
+      $ ctx_term $ network_arg $ seed_arg $ double_sample_arg)
 
-let run_multi network seed =
-  Eval.Report.print (Eval.Multi_failure.sweep ~seed network)
+let run_multi ctx network seed =
+  emit ctx (Eval.Multi_failure.sweep ~seed network)
 
 let multi_cmd =
   let doc = "Extension: R_fast under k simultaneous link failures." in
-  Cmd.v (Cmd.info "multi" ~doc) Term.(const run_multi $ network_arg $ seed_arg)
+  Cmd.v
+    (Cmd.info "multi" ~doc)
+    Term.(
+      const (fun ctx n s -> finishing ctx (fun () -> run_multi ctx n s))
+      $ ctx_term $ network_arg $ seed_arg)
 
 let detector_conv =
   let parse = function
@@ -234,14 +334,14 @@ let horizon_arg =
     & opt (some float) None
     & info [ "horizon" ] ~docv:"SEC" ~doc:"Simulated time past each fault.")
 
-let run_chaos ?(csv = false) network seed scenarios detector loss gray horizon =
+let run_chaos ctx network seed scenarios detector loss gray horizon =
   let levels =
     match loss with
     | None -> None
     | Some p ->
       Some [ Eval.Chaos.level p ~dup:(p /. 2.0) ~jitter:5e-4 ~gray_frac:gray ]
   in
-  emit ~csv
+  emit ctx
     (Eval.Chaos.sweep ~seed ~scenario_count:scenarios ?horizon ~detector
        ?levels network)
 
@@ -254,49 +354,56 @@ let chaos_cmd =
   Cmd.v
     (Cmd.info "chaos" ~doc)
     Term.(
-      const (fun csv n s sc d l g h -> run_chaos ~csv n s sc d l g h)
-      $ csv_arg $ network_arg $ seed_arg $ scenario_count_arg $ detector_arg
+      const (fun ctx n s sc d l g h ->
+          finishing ctx (fun () -> run_chaos ctx n s sc d l g h))
+      $ ctx_term $ network_arg $ seed_arg $ scenario_count_arg $ detector_arg
       $ loss_arg $ gray_arg $ horizon_arg)
 
-let run_markov () =
+let run_markov ctx () =
   let rows = Eval.Reliability_cmp.compute ~hops:[ 1; 2; 4; 7; 10; 14 ] () in
-  Eval.Report.print (Eval.Reliability_cmp.report rows)
+  emit ctx (Eval.Reliability_cmp.report rows)
 
 let markov_cmd =
   let doc = "Figure 3: Markov reliability models vs the combinatorial P_r." in
-  Cmd.v (Cmd.info "markov" ~doc) Term.(const run_markov $ const ())
+  Cmd.v
+    (Cmd.info "markov" ~doc)
+    Term.(
+      const (fun ctx -> finishing ctx (fun () -> run_markov ctx ()))
+      $ ctx_term)
 
-let run_all seed double_sample =
+let run_all ctx seed double_sample =
   let ds = match double_sample with None -> Some 300 | some -> some in
   List.iter
     (fun network ->
-      run_fig9 network 1 seed;
-      run_table1 network 1 seed ds;
+      run_fig9 ctx network 1 seed;
+      run_table1 ctx network 1 seed ds;
       (match network with
-      | Eval.Setup.Torus8 -> run_table1 network 2 seed ds
-      | Eval.Setup.Mesh8 -> ());
-      run_table2 network 1 seed ds;
+      | Eval.Setup.Torus8 -> run_table1 ctx network 2 seed ds
+      | _ -> ());
+      run_table2 ctx network 1 seed ds;
       (match network with
-      | Eval.Setup.Torus8 -> run_table2 network 2 seed ds
-      | Eval.Setup.Mesh8 -> ());
-      run_table3 network seed ds)
+      | Eval.Setup.Torus8 -> run_table2 ctx network 2 seed ds
+      | _ -> ());
+      run_table3 ctx network seed ds)
     [ Eval.Setup.Torus8; Eval.Setup.Mesh8 ];
-  run_delay Eval.Setup.Torus8 1 seed 16;
-  run_schemes Eval.Setup.Torus8 seed 8;
-  run_priority Eval.Setup.Torus8 seed;
-  run_hotspot Eval.Setup.Torus8 seed;
-  run_routing Eval.Setup.Torus8 seed;
-  run_fig8 Eval.Setup.Torus8 seed;
-  run_sensitivity Eval.Setup.Torus8 seed;
-  run_baseline Eval.Setup.Torus8 seed double_sample;
-  run_multi Eval.Setup.Torus8 seed;
-  run_markov ()
+  run_delay ctx Eval.Setup.Torus8 1 seed 16;
+  run_schemes ctx Eval.Setup.Torus8 seed 8;
+  run_priority ctx Eval.Setup.Torus8 seed;
+  run_hotspot ctx Eval.Setup.Torus8 seed;
+  run_routing ctx Eval.Setup.Torus8 seed;
+  run_fig8 ctx Eval.Setup.Torus8 seed;
+  run_sensitivity ctx Eval.Setup.Torus8 seed;
+  run_baseline ctx Eval.Setup.Torus8 seed double_sample;
+  run_multi ctx Eval.Setup.Torus8 seed;
+  run_markov ctx ()
 
 let all_cmd =
   let doc = "Run the complete evaluation (every table and figure)." in
   Cmd.v
     (Cmd.info "all" ~doc)
-    Term.(const run_all $ seed_arg $ double_sample_arg)
+    Term.(
+      const (fun ctx s d -> finishing ctx (fun () -> run_all ctx s d))
+      $ ctx_term $ seed_arg $ double_sample_arg)
 
 let () =
   let doc =
@@ -304,9 +411,11 @@ let () =
      from Component Failures in Multi-hop Networks' (Han & Shin, SIGCOMM '97)"
   in
   let info = Cmd.info "bcp_sim" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval
-       (Cmd.group info
+  (* Usage errors (unknown flags, malformed option values such as
+     [--jobs 0]) exit with code 2. *)
+  let code =
+    Cmd.eval ~term_err:2
+      (Cmd.group info
           [
             fig9_cmd;
             table1_cmd;
@@ -324,4 +433,6 @@ let () =
             markov_cmd;
             chaos_cmd;
             all_cmd;
-          ]))
+          ])
+  in
+  exit (if code = Cmd.Exit.cli_error then 2 else code)

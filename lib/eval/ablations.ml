@@ -28,11 +28,18 @@ let priority_activation ?(seed = 42) ?(double_sample = 300)
   row "priority order" priority;
   r
 
-let inhomogeneous ?(seed = 42) ?(count = 3000) ?(hotspot_fraction = 0.35)
-    network =
+let inhomogeneous ?(seed = 42) ?count ?(hotspot_fraction = 0.35) network =
   let degree = 5 in
   let topo = Setup.topology_of network in
-  let hotspots = [ 27; 28; 35; 36 ] (* the central 2x2 of an 8x8 grid *) in
+  (* Default demand scales with the network: 3000 connections on the 8x8
+     grids (the paper's hot-spot experiment), proportionally fewer on
+     the reduced 4x4 variants. *)
+  let count =
+    match count with
+    | Some c -> c
+    | None -> Setup.pair_count network * 3000 / 4032
+  in
+  let hotspots = Setup.center_nodes network in
   let requests rng =
     Workload.Generator.hotspot rng topo ~hotspots ~fraction:hotspot_fraction
       ~count ~mux_degree:degree ~backups:1
@@ -86,27 +93,36 @@ let scheme_coverage ?(seed = 5) ns =
         [ "RCC msgs"; "ctrl delivered"; "src informed"; "dst informed"; "resumed" ]
   in
   List.iter
-    (fun scheme ->
-      let config = { Bcp.Protocol.default_config with scheme } in
-      let sim = Bcp.Simnet.create ~config ns in
-      Bcp.Simnet.fail_link sim ~at:0.01 link;
-      Bcp.Simnet.run ~until:0.1 sim;
-      Bcp.Simnet.finalize sim;
-      let recs =
-        List.filter (fun rc -> not rc.Bcp.Simnet.excluded) (Bcp.Simnet.records sim)
-      in
-      let n = List.length recs in
-      let count f = List.length (List.filter f recs) in
-      Report.add_row r ~label:(Recovery_delay.scheme_label scheme)
-        ~cells:
-          [
-            string_of_int (Bcp.Simnet.rcc_messages_sent sim);
-            string_of_int (Bcp.Simnet.control_messages_delivered sim);
-            Printf.sprintf "%d/%d" (count (fun rc -> rc.Bcp.Simnet.src_informed <> None)) n;
-            Printf.sprintf "%d/%d" (count (fun rc -> rc.Bcp.Simnet.dst_informed <> None)) n;
-            Printf.sprintf "%d/%d" (count (fun rc -> rc.Bcp.Simnet.resumed_at <> None)) n;
-          ])
-    [ Bcp.Protocol.Scheme1; Bcp.Protocol.Scheme2; Bcp.Protocol.Scheme3 ];
+    (fun (label, cells) -> Report.add_row r ~label ~cells)
+    (Sim.Pool.map
+       (fun scheme ->
+         let config = { Bcp.Protocol.default_config with scheme } in
+         let sim = Bcp.Simnet.create ~config ns in
+         Bcp.Simnet.fail_link sim ~at:0.01 link;
+         Bcp.Simnet.run ~until:0.1 sim;
+         Bcp.Simnet.finalize sim;
+         let recs =
+           List.filter
+             (fun rc -> not rc.Bcp.Simnet.excluded)
+             (Bcp.Simnet.records sim)
+         in
+         let n = List.length recs in
+         let count f = List.length (List.filter f recs) in
+         ( Recovery_delay.scheme_label scheme,
+           [
+             string_of_int (Bcp.Simnet.rcc_messages_sent sim);
+             string_of_int (Bcp.Simnet.control_messages_delivered sim);
+             Printf.sprintf "%d/%d"
+               (count (fun rc -> rc.Bcp.Simnet.src_informed <> None))
+               n;
+             Printf.sprintf "%d/%d"
+               (count (fun rc -> rc.Bcp.Simnet.dst_informed <> None))
+               n;
+             Printf.sprintf "%d/%d"
+               (count (fun rc -> rc.Bcp.Simnet.resumed_at <> None))
+               n;
+           ] ))
+       [ Bcp.Protocol.Scheme1; Bcp.Protocol.Scheme2; Bcp.Protocol.Scheme3 ]);
   r
 
 let backup_routing ?(seed = 42) ?(degrees = [ 1; 3; 5; 6 ]) network =
@@ -119,7 +135,8 @@ let backup_routing ?(seed = 42) ?(degrees = [ 1; 3; 5; 6 ]) network =
       ~columns:(List.map (fun d -> Printf.sprintf "mux=%d" d) degrees)
   in
   let run strategy =
-    List.map
+    (* Independent establishment per (strategy, degree) pair. *)
+    Sim.Pool.map
       (fun degree ->
         let est =
           Setup.build ~seed ~backups:1 ~mux_degree:degree

@@ -62,54 +62,70 @@ let run ?(seed = 11) ?(scenario_count = 16) ?(horizon = 0.25)
   let t_fail = 0.01 in
   List.mapi
     (fun li lvl ->
+      (* Every scenario is seeded from (seed, level, scenario index), so
+         the per-scenario simulations are independent and run on the
+         domain pool; the observations are merged in scenario order,
+         keeping the sweep byte-identical to a sequential run. *)
+      let observe (si, l) =
+        let sim = Bcp.Simnet.create ~config ns in
+        let profile =
+          Failures.Impair.make ~loss:lvl.loss ~dup:lvl.dup ~jitter:lvl.jitter
+            ()
+        in
+        let imp =
+          Failures.Impair.create
+            ~seed:(seed + (7919 * li) + (104729 * si))
+            ~default:profile ()
+        in
+        (* A fraction of links is gray: reported up, silently dropping
+           every control message and ack. *)
+        let gray_count = int_of_float (Float.round (lvl.gray_frac *. float_of_int m)) in
+        if gray_count > 0 then begin
+          let grng = Sim.Prng.create (seed + (31 * li) + si) in
+          List.iter
+            (fun gl ->
+              Failures.Impair.set_link imp ~link:gl
+                (Failures.Impair.make ~gray:true ()))
+            (Sim.Prng.sample_without_replacement grng gray_count m)
+        end;
+        Bcp.Simnet.set_impairment sim imp;
+        Bcp.Simnet.inject sim ~at:t_fail (Failures.Scenario.single_link topo l);
+        Bcp.Simnet.run ~until:(t_fail +. horizon) sim;
+        Bcp.Simnet.finalize sim;
+        let obs_affected = ref 0 and obs_disruptions = ref [] in
+        List.iter
+          (fun r ->
+            if not r.Bcp.Simnet.excluded then begin
+              incr obs_affected;
+              match (r.Bcp.Simnet.resumed_at, r.Bcp.Simnet.recovered_serial) with
+              | Some resumed, Some _ ->
+                obs_disruptions :=
+                  (resumed -. r.Bcp.Simnet.failure_time) :: !obs_disruptions
+              | _ -> ()
+            end)
+          (Bcp.Simnet.records sim);
+        ( !obs_affected,
+          List.rev !obs_disruptions,
+          Bcp.Simnet.rcc_messages_sent sim,
+          Bcp.Simnet.rcc_messages_dropped sim,
+          Bcp.Simnet.heartbeat_confirms sim,
+          Bcp.Simnet.heartbeat_recoveries sim )
+      in
       let affected = ref 0 and recovered = ref 0 in
       let rcc_sent = ref 0 and rcc_dropped = ref 0 in
       let hb_confirms = ref 0 and hb_recoveries = ref 0 in
       let disruptions = Sim.Stats.Sample.create () in
-      List.iteri
-        (fun si l ->
-          let sim = Bcp.Simnet.create ~config ns in
-          let profile =
-            Failures.Impair.make ~loss:lvl.loss ~dup:lvl.dup ~jitter:lvl.jitter
-              ()
-          in
-          let imp =
-            Failures.Impair.create
-              ~seed:(seed + (7919 * li) + (104729 * si))
-              ~default:profile ()
-          in
-          (* A fraction of links is gray: reported up, silently dropping
-             every control message and ack. *)
-          let gray_count = int_of_float (Float.round (lvl.gray_frac *. float_of_int m)) in
-          if gray_count > 0 then begin
-            let grng = Sim.Prng.create (seed + (31 * li) + si) in
-            List.iter
-              (fun gl ->
-                Failures.Impair.set_link imp ~link:gl
-                  (Failures.Impair.make ~gray:true ()))
-              (Sim.Prng.sample_without_replacement grng gray_count m)
-          end;
-          Bcp.Simnet.set_impairment sim imp;
-          Bcp.Simnet.inject sim ~at:t_fail (Failures.Scenario.single_link topo l);
-          Bcp.Simnet.run ~until:(t_fail +. horizon) sim;
-          Bcp.Simnet.finalize sim;
-          rcc_sent := !rcc_sent + Bcp.Simnet.rcc_messages_sent sim;
-          rcc_dropped := !rcc_dropped + Bcp.Simnet.rcc_messages_dropped sim;
-          hb_confirms := !hb_confirms + Bcp.Simnet.heartbeat_confirms sim;
-          hb_recoveries := !hb_recoveries + Bcp.Simnet.heartbeat_recoveries sim;
-          List.iter
-            (fun r ->
-              if not r.Bcp.Simnet.excluded then begin
-                incr affected;
-                match (r.Bcp.Simnet.resumed_at, r.Bcp.Simnet.recovered_serial) with
-                | Some resumed, Some _ ->
-                  incr recovered;
-                  Sim.Stats.Sample.add disruptions
-                    (resumed -. r.Bcp.Simnet.failure_time)
-                | _ -> ()
-              end)
-            (Bcp.Simnet.records sim))
-        failed_links;
+      List.iter
+        (fun (aff, disr, sent, dropped, confirms, recoveries) ->
+          affected := !affected + aff;
+          recovered := !recovered + List.length disr;
+          List.iter (Sim.Stats.Sample.add disruptions) disr;
+          rcc_sent := !rcc_sent + sent;
+          rcc_dropped := !rcc_dropped + dropped;
+          hb_confirms := !hb_confirms + confirms;
+          hb_recoveries := !hb_recoveries + recoveries)
+        (Sim.Pool.map observe
+           (List.mapi (fun si l -> (si, l)) failed_links));
       {
         level = lvl;
         scenarios = List.length failed_links;

@@ -34,8 +34,9 @@ let run ?(seed = 42) ?(rate = 2000.0) ?(hops = 6) network =
   let plinks = Net.Path.links conn.Bcp.Dconn.primary.Rtchan.Channel.path in
   let t_fail = 0.050 in
   let t_stop = 0.150 in
-  List.mapi
-    (fun idx link ->
+  (* One independent data-plane simulation per failed-link position. *)
+  Sim.Pool.map
+    (fun (idx, link) ->
       let sim = Bcp.Simnet.create ns in
       let dp = Bcp.Dataplane.attach sim in
       Bcp.Dataplane.stream dp ~conn:conn.Bcp.Dconn.id ~rate ~start:0.0
@@ -70,7 +71,7 @@ let run ?(seed = 42) ?(rate = 2000.0) ?(hops = 6) network =
           (if Sim.Stats.Sample.count st.Bcp.Dataplane.latencies = 0 then 0.0
            else Sim.Stats.Sample.mean st.Bcp.Dataplane.latencies);
       })
-    plinks
+    (List.mapi (fun idx link -> (idx, link)) plinks)
 
 let ms = function
   | None -> "-"

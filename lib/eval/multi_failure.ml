@@ -11,7 +11,7 @@ let default_configs =
 let sweep ?(seed = 42) ?(ks = [ 1; 2; 3; 4; 5; 6; 7; 8 ])
     ?(scenarios_per_k = 100) ?(configs = default_configs) network =
   let built =
-    List.map
+    Sim.Pool.map
       (fun c ->
         let est =
           Setup.build ~seed ~backups:c.backups ~mux_degree:c.mux_degree network
@@ -47,15 +47,28 @@ let sweep ?(seed = 42) ?(ks = [ 1; 2; 3; 4; 5; 6; 7; 8 ])
             let ns = est.Setup.ns in
             let topo = Bcp.Netstate.topology ns in
             let rng = Sim.Prng.create (seed + (1000 * k)) in
-            let affected = ref 0 and recovered = ref 0 in
+            (* Draw the random scenarios sequentially (one generator
+               feeds all of them, in a fixed order), then simulate them
+               on the pool. *)
+            let scenarios = ref [] in
             for _ = 1 to scenarios_per_k do
-              let sc = Failures.Scenario.random_links rng topo ~count:k in
-              let r =
-                Bcp.Recovery.simulate ns ~failed:sc.Failures.Scenario.components
-              in
-              affected := !affected + r.Bcp.Recovery.affected;
-              recovered := !recovered + r.Bcp.Recovery.recovered
+              scenarios :=
+                Failures.Scenario.random_links rng topo ~count:k :: !scenarios
             done;
+            let scenarios = List.rev !scenarios in
+            let results =
+              Sim.Pool.map
+                (fun sc ->
+                  Bcp.Recovery.simulate ns
+                    ~failed:sc.Failures.Scenario.components)
+                scenarios
+            in
+            let affected = ref 0 and recovered = ref 0 in
+            List.iter
+              (fun r ->
+                affected := !affected + r.Bcp.Recovery.affected;
+                recovered := !recovered + r.Bcp.Recovery.recovered)
+              results;
             Report.pct
               (if !affected = 0 then 100.0 else Sim.Stats.ratio !recovered !affected))
           built

@@ -55,17 +55,21 @@ let measure ?(config = Bcp.Protocol.default_config) ?(seed = 11)
   let within = ref 0 and samples = ref 0 and unrecovered = ref 0 in
   let rcc_sent = ref 0 in
   let t_fail = 0.01 in
-  List.iter
-    (fun sc ->
-      let sim = Bcp.Simnet.create ~config ns in
-      Bcp.Simnet.inject sim ~at:t_fail sc;
-      (* Stop before the rejoin timers tear anything down. *)
-      Bcp.Simnet.run ~until:(t_fail +. (0.5 *. config.Bcp.Protocol.rejoin_timeout)) sim;
-      Bcp.Simnet.finalize sim;
-      rcc_sent := !rcc_sent + Bcp.Simnet.rcc_messages_sent sim;
-      List.iter
+  (* Each scenario runs its own event-driven simulation against the
+     (read-only) established netstate, so the sweep maps over the domain
+     pool; merging the per-scenario observations in scenario order makes
+     the statistics byte-identical to the sequential sweep. *)
+  let observe sc =
+    let sim = Bcp.Simnet.create ~config ns in
+    Bcp.Simnet.inject sim ~at:t_fail sc;
+    (* Stop before the rejoin timers tear anything down. *)
+    Bcp.Simnet.run ~until:(t_fail +. (0.5 *. config.Bcp.Protocol.rejoin_timeout)) sim;
+    Bcp.Simnet.finalize sim;
+    let events =
+      List.filter_map
         (fun r ->
-          if not r.Bcp.Simnet.excluded then begin
+          if r.Bcp.Simnet.excluded then None
+          else
             match (r.Bcp.Simnet.resumed_at, r.Bcp.Simnet.recovered_serial) with
             | Some resumed, Some _ ->
               let from_detection =
@@ -73,17 +77,32 @@ let measure ?(config = Bcp.Protocol.default_config) ?(seed = 11)
                 -. config.Bcp.Protocol.detection_latency
               in
               let from_detection = Float.max 0.0 from_detection in
-              Sim.Stats.Sample.add delays from_detection;
-              incr samples;
-              (match conn_bound ns r.Bcp.Simnet.conn config.Bcp.Protocol.rcc.Rcc.Transport.d_max with
-              | None -> ()
-              | Some b ->
-                Sim.Stats.Running.add bounds b;
-                if from_detection <= b +. 1e-12 then incr within)
-            | _ -> incr unrecovered
-          end)
-        (Bcp.Simnet.records sim))
-    scenarios;
+              Some
+                (`Recovered
+                  ( from_detection,
+                    conn_bound ns r.Bcp.Simnet.conn
+                      config.Bcp.Protocol.rcc.Rcc.Transport.d_max ))
+            | _ -> Some `Unrecovered)
+        (Bcp.Simnet.records sim)
+    in
+    (Bcp.Simnet.rcc_messages_sent sim, events)
+  in
+  List.iter
+    (fun (sent, events) ->
+      rcc_sent := !rcc_sent + sent;
+      List.iter
+        (function
+          | `Recovered (from_detection, bound) -> (
+            Sim.Stats.Sample.add delays from_detection;
+            incr samples;
+            match bound with
+            | None -> ()
+            | Some b ->
+              Sim.Stats.Running.add bounds b;
+              if from_detection <= b +. 1e-12 then incr within)
+          | `Unrecovered -> incr unrecovered)
+        events)
+    (Sim.Pool.map observe scenarios);
   {
     scheme = config.Bcp.Protocol.scheme;
     scenarios = List.length scenarios;

@@ -9,7 +9,8 @@ type row = {
 
 let compute ?(lambda_per_hour = 1e-3) ?(mu_per_hour = 60.0) ?(t_hours = 1.0)
     ~hops () =
-  List.map
+  (* Pure per-hop computation; runs on the domain pool. *)
+  Sim.Pool.map
     (fun h ->
       if h < 1 then invalid_arg "Reliability_cmp.compute: hops must be >= 1";
       (* A channel of h hops has h links + (h+1) nodes. *)

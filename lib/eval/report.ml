@@ -57,6 +57,24 @@ let csv_escape s =
     "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
   else s
 
+let to_json t =
+  Json.Obj
+    [
+      ("title", Json.String t.title);
+      ("columns", Json.List (List.map (fun c -> Json.String c) t.columns));
+      ( "rows",
+        Json.List
+          (List.map
+             (fun (label, cells) ->
+               Json.Obj
+                 [
+                   ("label", Json.String label);
+                   ( "cells",
+                     Json.List (List.map (fun c -> Json.String c) cells) );
+                 ])
+             (List.rev t.rows)) );
+    ]
+
 let to_csv t =
   let buf = Buffer.create 256 in
   Buffer.add_string buf (String.concat "," (List.map csv_escape ("" :: t.columns)));

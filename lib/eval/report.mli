@@ -19,3 +19,8 @@ val pct : float -> string
 val render : t -> string
 val print : t -> unit
 val to_csv : t -> string
+
+val to_json : t -> Json.t
+(** [{"title": ..., "columns": [...], "rows": [{"label", "cells"}]}] —
+    cells stay the rendered strings of the text table, so a JSON report
+    is byte-comparable across runs exactly like the rendered table. *)

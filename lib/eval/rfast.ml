@@ -46,13 +46,23 @@ let merge_degrees a b =
 
 let measure ?seed ?(order = Bcp.Recovery.By_id) ns model =
   let scenarios = scenarios_of ?seed ns model in
+  let simulate sc =
+    Bcp.Recovery.simulate ~order ns ~failed:sc.Failures.Scenario.components
+  in
+  (* The recovery engine only reads the established netstate (it copies
+     the spare pools), so scenarios run on the domain pool; folding the
+     per-scenario results in index order is byte-identical to the
+     sequential sweep.  [Shuffled] threads one generator across
+     scenarios and must stay sequential. *)
+  let results =
+    match order with
+    | Bcp.Recovery.Shuffled _ -> List.map simulate scenarios
+    | Bcp.Recovery.By_id | Bcp.Recovery.By_priority ->
+      Sim.Pool.map simulate scenarios
+  in
   let acc =
     List.fold_left
-      (fun acc sc ->
-        let r =
-          Bcp.Recovery.simulate ~order ns
-            ~failed:sc.Failures.Scenario.components
-        in
+      (fun acc r ->
         {
           acc with
           affected = acc.affected + r.Bcp.Recovery.affected;
@@ -72,7 +82,7 @@ let measure ?seed ?(order = Bcp.Recovery.By_id) ns model =
         excluded = 0;
         per_degree = [];
       }
-      scenarios
+      results
   in
   acc
 
@@ -84,7 +94,9 @@ let degree_columns degrees = List.map (fun d -> Printf.sprintf "mux=%d" d) degre
 let table_same_degree ?(seed = 42) ?double_sample ?(degrees = [ 1; 3; 5; 6 ])
     network ~backups =
   let runs =
-    List.map
+    (* Establishment passes for distinct degrees are independent (each
+       builds its own topology, netstate and generator). *)
+    Sim.Pool.map
       (fun degree ->
         let est = Setup.build ~seed ~backups ~mux_degree:degree network in
         (* The paper's N/A: "the total bandwidth requirement had exceeded
@@ -167,7 +179,9 @@ let table_brute_force ?(seed = 42) ?double_sample ?(degrees = [ 1; 3; 5; 6 ])
   (* Per-link uniform spare equal to the average the proposed scheme
      reserved at each degree (Section 7.4). *)
   let proposed =
-    List.map (fun d -> (d, Setup.build ~seed ~backups:1 ~mux_degree:d network)) degrees
+    Sim.Pool.map
+      (fun d -> (d, Setup.build ~seed ~backups:1 ~mux_degree:d network))
+      degrees
   in
   let report =
     Report.make
@@ -179,7 +193,7 @@ let table_brute_force ?(seed = 42) ?double_sample ?(degrees = [ 1; 3; 5; 6 ])
   Report.add_row report ~label:"Spare bandwidth"
     ~cells:(List.map (fun (_, est) -> Report.pct est.Setup.spare) proposed);
   let brute_runs =
-    List.map
+    Sim.Pool.map
       (fun (d, est) ->
         let topo = Setup.topology_of network in
         let resources = Bcp.Netstate.resources est.Setup.ns in

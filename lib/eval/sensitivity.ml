@@ -34,7 +34,7 @@ let traffic ?(seed = 42) ?(mux_degree = 3) network =
       ~columns
   in
   let topo () = Setup.topology_of network in
-  let uniform =
+  let uniform () =
     let t = topo () in
     let rng = Sim.Prng.create seed in
     measure_case ~label:"uniform 1 Mbps (all pairs)"
@@ -42,7 +42,7 @@ let traffic ?(seed = 42) ?(mux_degree = 3) network =
       (Workload.Generator.shuffled rng
          (Workload.Generator.all_pairs ~mux_degree t))
   in
-  let mixed =
+  let mixed () =
     let t = topo () in
     let rng = Sim.Prng.create seed in
     measure_case ~label:"mixed bandwidths {0.5,1,2,4}"
@@ -53,17 +53,19 @@ let traffic ?(seed = 42) ?(mux_degree = 3) network =
          (Workload.Generator.shuffled rng
             (Workload.Generator.all_pairs ~mux_degree t)))
   in
-  let hotspot =
+  let hotspot () =
     let t = topo () in
     measure_case ~label:"hot-spot endpoints (35% to center)"
       (Bcp.Netstate.create t ())
       (Workload.Generator.hotspot
          (Sim.Prng.create (seed + 2))
          t
-         ~hotspots:[ 27; 28; 35; 36 ]
-         ~fraction:0.35 ~count:4032 ~mux_degree)
+         ~hotspots:(Setup.center_nodes network)
+         ~fraction:0.35 ~count:(Setup.pair_count network) ~mux_degree)
   in
-  List.iter (add_case report) [ uniform; mixed; hotspot ];
+  (* The three traffic cases build independent netstates. *)
+  List.iter (add_case report)
+    (Sim.Pool.map (fun case -> case ()) [ uniform; mixed; hotspot ]);
   report
 
 let topology ?(seed = 42) ?(mux_degree = 3) () =
@@ -87,14 +89,15 @@ let topology ?(seed = 42) ?(mux_degree = 3) () =
           ~extra_edges:33 ~capacity:200.0 );
     ]
   in
-  List.iter
-    (fun (label, topo) ->
-      let rng = Sim.Prng.create (seed + 7) in
-      let requests =
-        Workload.Generator.random_pairs rng ~mux_degree topo ~count:1500
-      in
-      add_case report (measure_case ~label (Bcp.Netstate.create topo ()) requests))
-    cases;
+  List.iter (add_case report)
+    (Sim.Pool.map
+       (fun (label, topo) ->
+         let rng = Sim.Prng.create (seed + 7) in
+         let requests =
+           Workload.Generator.random_pairs rng ~mux_degree topo ~count:1500
+         in
+         measure_case ~label (Bcp.Netstate.create topo ()) requests)
+       cases);
   report
 
 let s_max_audit ns params =

@@ -1,12 +1,33 @@
-type network = Torus8 | Mesh8
+type network = Torus8 | Mesh8 | Torus4 | Mesh4
 
 let topology_of = function
   | Torus8 -> Net.Builders.torus ~rows:8 ~cols:8 ~capacity:200.0
   | Mesh8 -> Net.Builders.mesh ~rows:8 ~cols:8 ~capacity:300.0
+  | Torus4 -> Net.Builders.torus ~rows:4 ~cols:4 ~capacity:50.0
+  | Mesh4 -> Net.Builders.mesh ~rows:4 ~cols:4 ~capacity:75.0
 
 let network_label = function
   | Torus8 -> "8x8 torus (200 Mbps links)"
   | Mesh8 -> "8x8 mesh (300 Mbps links)"
+  | Torus4 -> "4x4 torus (50 Mbps links)"
+  | Mesh4 -> "4x4 mesh (75 Mbps links)"
+
+let dims = function Torus8 | Mesh8 -> (8, 8) | Torus4 | Mesh4 -> (4, 4)
+
+let pair_count network =
+  let rows, cols = dims network in
+  let n = rows * cols in
+  n * (n - 1)
+
+let center_nodes network =
+  (* The central 2x2 of the rows x cols grid: [27; 28; 35; 36] on 8x8. *)
+  let rows, cols = dims network in
+  [
+    (((rows / 2) - 1) * cols) + (cols / 2) - 1;
+    (((rows / 2) - 1) * cols) + (cols / 2);
+    ((rows / 2) * cols) + (cols / 2) - 1;
+    ((rows / 2) * cols) + (cols / 2);
+  ]
 
 type establishment = {
   ns : Bcp.Netstate.t;

@@ -1,12 +1,24 @@
 (** Shared experiment scaffolding: the paper's two evaluation networks and
     the standard all-pairs establishment pass (Section 7 preamble). *)
 
-type network = Torus8 | Mesh8
+type network = Torus8 | Mesh8 | Torus4 | Mesh4
 
 val topology_of : network -> Net.Topology.t
-(** 8×8 torus with 200 Mbps links, or 8×8 mesh with 300 Mbps links. *)
+(** 8×8 torus with 200 Mbps links or 8×8 mesh with 300 Mbps links (the
+    paper's networks), plus capacity-scaled 4×4 variants for the reduced
+    benchmark suite and CI smokes. *)
 
 val network_label : network -> string
+
+val dims : network -> int * int
+(** Grid dimensions (rows, cols). *)
+
+val pair_count : network -> int
+(** Number of ordered node pairs (4032 on the 8×8 networks). *)
+
+val center_nodes : network -> int list
+(** The central 2×2 nodes used as hot-spot endpoints ([27; 28; 35; 36]
+    on the 8×8 grids). *)
 
 type establishment = {
   ns : Bcp.Netstate.t;

@@ -5,7 +5,9 @@ type series = {
 }
 
 let run ?(seed = 42) ?(degrees = [ 0; 1; 3; 5; 6 ]) network ~backups =
-  List.map
+  (* One independent establishment pass per degree: each runs on its own
+     netstate, so the sweep maps over the domain pool. *)
+  Sim.Pool.map
     (fun degree ->
       let topo = Setup.topology_of network in
       let ns = Bcp.Netstate.create topo () in

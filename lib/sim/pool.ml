@@ -1,0 +1,173 @@
+(* Work-stealing-free domain pool: one mutex, one task cursor.  Tasks are
+   dealt one index at a time; eval-layer tasks are whole failure-scenario
+   simulations (micro- to milliseconds), so cursor contention is noise.
+   Determinism comes from writing results into per-index slots — the
+   interleaving of domains is invisible to the caller. *)
+
+type job = { run : int -> unit; total : int }
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work : Condition.t; (* workers: a new job generation is available *)
+  finished : Condition.t; (* master: all tasks of the current job done *)
+  mutable job : job option;
+  mutable gen : int; (* bumped once per submitted job *)
+  mutable next : int; (* next task index to deal *)
+  mutable completed : int;
+  mutable busy : bool; (* a map is in flight (reentrancy guard) *)
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+(* Drain tasks of generation [gen]; the mutex is held on entry and exit. *)
+let drain t ~gen (j : job) =
+  let rec loop () =
+    if t.gen = gen && t.next < j.total then begin
+      let i = t.next in
+      t.next <- i + 1;
+      Mutex.unlock t.mutex;
+      j.run i;
+      Mutex.lock t.mutex;
+      t.completed <- t.completed + 1;
+      if t.completed >= j.total then Condition.broadcast t.finished;
+      loop ()
+    end
+  in
+  loop ()
+
+let rec worker_loop t ~last_gen =
+  Mutex.lock t.mutex;
+  while (not t.stop) && t.gen = last_gen do
+    Condition.wait t.work t.mutex
+  done;
+  if t.stop then Mutex.unlock t.mutex
+  else begin
+    let gen = t.gen in
+    (* The master may have drained the whole job and cleared it before
+       this worker woke up — then there is nothing to do but catch up
+       on the generation counter. *)
+    (match t.job with Some j -> drain t ~gen j | None -> ());
+    Mutex.unlock t.mutex;
+    worker_loop t ~last_gen:gen
+  end
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      job = None;
+      gen = 0;
+      next = 0;
+      completed = 0;
+      busy = false;
+      stop = false;
+      domains = [];
+    }
+  in
+  t.domains <-
+    List.init (jobs - 1) (fun _ ->
+        Domain.spawn (fun () -> worker_loop t ~last_gen:0));
+  t
+
+let jobs t = t.jobs
+
+let run_tasks t ~total run =
+  if total > 0 then begin
+    Mutex.lock t.mutex;
+    if t.busy || t.stop || t.jobs = 1 then begin
+      (* Reentrant call from inside a task, or no workers: run inline.
+         Sequential index order keeps nested maps deterministic. *)
+      Mutex.unlock t.mutex;
+      for i = 0 to total - 1 do
+        run i
+      done
+    end
+    else begin
+      t.busy <- true;
+      t.job <- Some { run; total };
+      t.gen <- t.gen + 1;
+      t.next <- 0;
+      t.completed <- 0;
+      let gen = t.gen in
+      Condition.broadcast t.work;
+      drain t ~gen { run; total };
+      while t.completed < total do
+        Condition.wait t.finished t.mutex
+      done;
+      t.job <- None;
+      t.busy <- false;
+      Mutex.unlock t.mutex
+    end
+  end
+
+exception Task_error of exn * Printexc.raw_backtrace
+
+let map_array t f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    let run i =
+      match f xs.(i) with
+      | y -> out.(i) <- Some (Ok y)
+      | exception e ->
+        out.(i) <- Some (Error (Task_error (e, Printexc.get_raw_backtrace ())))
+    in
+    run_tasks t ~total:n run;
+    Array.map
+      (function
+        | Some (Ok y) -> y
+        | Some (Error (Task_error (e, bt))) -> Printexc.raise_with_backtrace e bt
+        | Some (Error e) -> raise e
+        | None -> assert false)
+      out
+  end
+
+let map_list t f xs = Array.to_list (map_array t f (Array.of_list xs))
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* ---------- process-global pool ---------- *)
+
+let global : t option ref = ref None
+let global_jobs = ref 1
+
+let set_jobs n =
+  if n < 1 then invalid_arg "Pool.set_jobs: jobs must be >= 1";
+  (match !global with
+  | Some p when jobs p <> n ->
+    shutdown p;
+    global := None
+  | _ -> ());
+  global_jobs := n
+
+let current_jobs () = !global_jobs
+
+let map f xs =
+  if !global_jobs = 1 then List.map f xs
+  else begin
+    let p =
+      match !global with
+      | Some p -> p
+      | None ->
+        let p = create ~jobs:!global_jobs in
+        global := Some p;
+        p
+    in
+    map_list p f xs
+  end

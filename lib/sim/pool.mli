@@ -1,0 +1,59 @@
+(** Fixed-size domain pool for the evaluation layer (OCaml 5 domains).
+
+    Scenario sweeps are embarrassingly parallel: each seeded failure
+    scenario is independent of every other.  The pool runs an
+    order-preserving parallel [map] over such work lists; results are
+    written into per-index slots, so merging them in index order is
+    byte-identical to a sequential left fold regardless of how the
+    domains interleave.  Callers that need randomness inside a task must
+    derive a per-index seed (see {!Prng.derive}) instead of threading one
+    generator across tasks. *)
+
+type t
+(** A pool of worker domains plus the calling domain. *)
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [jobs - 1] worker domains ([jobs >= 1]; the
+    caller participates as the remaining worker).
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val jobs : t -> int
+(** Configured parallelism (including the calling domain). *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Order-preserving parallel map.  Tasks are dealt one index at a time
+    to idle domains; [f] runs concurrently, so it must not mutate shared
+    state.  If one or more tasks raise, every task still runs to
+    completion and the exception of the {e lowest} index is re-raised in
+    the caller (deterministic regardless of scheduling).  Calls from
+    inside a running task degrade to a sequential map instead of
+    deadlocking. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_array] over lists. *)
+
+val shutdown : t -> unit
+(** Join the worker domains.  The pool must be idle; subsequent maps on
+    a shut-down pool run sequentially. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] on a fresh pool and shuts it down
+    afterwards (also on exception). *)
+
+(** {1 Process-global pool}
+
+    The evaluation modules route their per-scenario loops through
+    {!map}, which runs on a process-wide pool sized by {!set_jobs}
+    (default 1, i.e. plain sequential [List.map]).  CLIs translate their
+    [--jobs N] flag into [set_jobs n]. *)
+
+val set_jobs : int -> unit
+(** Resize the global pool ([n >= 1]).  Shuts the previous pool down.
+    @raise Invalid_argument if [n < 1]. *)
+
+val current_jobs : unit -> int
+(** Current global parallelism (1 unless [set_jobs] was called). *)
+
+val map : ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving map on the global pool; sequential when
+    [current_jobs () = 1]. *)

@@ -23,6 +23,15 @@ let split t =
   let s = bits64 t in
   { state = mix64 s }
 
+let derive ~seed ~index =
+  if index < 0 then invalid_arg "Prng.derive: index must be >= 0";
+  let z =
+    Int64.add
+      (mix64 (Int64.of_int seed))
+      (Int64.mul (Int64.of_int (index + 1)) golden_gamma)
+  in
+  Int64.to_int (Int64.shift_right_logical (mix64 z) 2)
+
 (* Non-negative 62-bit int from the top bits. *)
 let positive_int t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
 

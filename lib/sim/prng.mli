@@ -18,6 +18,13 @@ val split : t -> t
 (** [split t] derives a new generator from [t], advancing [t]; streams from
     the parent and the child are statistically independent. *)
 
+val derive : seed:int -> index:int -> int
+(** [derive ~seed ~index] is a statistically independent seed for the
+    [index]-th element of a work list (SplitMix finalizer over the
+    seeded state advanced [index + 1] gammas).  Unlike {!split} it needs
+    no shared generator, so parallel workers can seed scenario [i]
+    identically no matter which domain runs it ([index >= 0]). *)
+
 val bits64 : t -> int64
 (** Next raw 64 bits. *)
 
