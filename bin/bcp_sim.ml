@@ -77,14 +77,21 @@ let json_arg =
         ~doc:"Also write every emitted table to FILE as JSON.")
 
 (* Output context shared by every subcommand: rendering mode, optional
-   JSON sink, and the domain-pool size. *)
-type ctx = { csv : bool; json : string option; collected : Eval.Report.t list ref }
+   JSON sink, and the domain-pool size.  [extra] holds additional
+   top-level JSON sections (e.g. telemetry) — empty for every command
+   that predates it, so their JSON output is unchanged. *)
+type ctx = {
+  csv : bool;
+  json : string option;
+  collected : Eval.Report.t list ref;
+  extra : (string * Eval.Json.t) list ref;
+}
 
 let ctx_term =
   Term.(
     const (fun csv json jobs ->
         Sim.Pool.set_jobs jobs;
-        { csv; json; collected = ref [] })
+        { csv; json; collected = ref []; extra = ref [] })
     $ csv_arg $ json_arg $ jobs_arg)
 
 let emit ctx report =
@@ -98,13 +105,14 @@ let write_json ctx =
   | Some path ->
     let doc =
       Eval.Json.Obj
-        [
-          ("schema", Eval.Json.String "bcp-report/v1");
-          ("jobs", Eval.Json.Int (Sim.Pool.current_jobs ()));
-          ( "reports",
-            Eval.Json.List
-              (List.rev_map Eval.Report.to_json !(ctx.collected)) );
-        ]
+        ([
+           ("schema", Eval.Json.String "bcp-report/v1");
+           ("jobs", Eval.Json.Int (Sim.Pool.current_jobs ()));
+           ( "reports",
+             Eval.Json.List
+               (List.rev_map Eval.Report.to_json !(ctx.collected)) );
+         ]
+        @ List.rev !(ctx.extra))
     in
     let oc = open_out path in
     output_string oc (Eval.Json.to_string ~indent:2 doc);
@@ -185,6 +193,82 @@ let delay_cmd =
       const (fun ctx n b s sc ->
           finishing ctx (fun () -> run_delay ctx n b s sc))
       $ ctx_term $ network_arg $ backups_arg $ seed_arg $ scenario_count_arg)
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Collect the telemetry metrics registry and the per-recovery \
+           phase breakdown (detect/report/activate/switch) and emit them \
+           as extra tables (and JSON sections with --json).")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the typed event log to FILE: JSONL when FILE ends in \
+           .jsonl, Chrome trace_event JSON (chrome://tracing, Perfetto) \
+           otherwise.")
+
+let run_recovery ctx network backups seed scenarios use_metrics trace_out =
+  let telemetry = use_metrics || trace_out <> None in
+  if not telemetry then run_delay ctx network backups seed scenarios
+  else begin
+    (* Establishment-time multiplexing updates land at time 0.0 under the
+       pseudo-scenario -1; the sweep's events follow per scenario. *)
+    let setup_events = ref [] in
+    let mux_sink ev = setup_events := (-1, 0.0, ev) :: !setup_events in
+    let est = Eval.Setup.build ~seed ~backups ~mux_degree:3 ~mux_sink network in
+    Printf.printf "established %d connections (rejected %d), spare %.2f%%\n\n"
+      est.Eval.Setup.established est.Eval.Setup.rejected est.Eval.Setup.spare;
+    let stats, tele =
+      Eval.Recovery_delay.measure_telemetry ~seed ~scenario_count:scenarios
+        est.Eval.Setup.ns
+    in
+    emit ctx (Eval.Recovery_delay.report [ stats ]);
+    if use_metrics then begin
+      emit ctx (Eval.Recovery_delay.phases_report tele.Eval.Recovery_delay.phases);
+      emit ctx (Eval.Telemetry.metrics_report tele.Eval.Recovery_delay.metrics);
+      ctx.extra :=
+        ( "metrics",
+          Eval.Telemetry.metrics_to_json tele.Eval.Recovery_delay.metrics )
+        :: ( "phases",
+             Eval.Recovery_delay.phases_to_json tele.Eval.Recovery_delay.phases )
+        :: !(ctx.extra)
+    end;
+    match trace_out with
+    | None -> ()
+    | Some path ->
+      let events = List.rev !setup_events @ tele.Eval.Recovery_delay.events in
+      let oc = open_out path in
+      if Filename.check_suffix path ".jsonl" then
+        output_string oc (Eval.Telemetry.events_to_jsonl events)
+      else begin
+        output_string oc
+          (Eval.Json.to_string ~indent:2 (Eval.Telemetry.events_to_chrome events));
+        output_char oc '\n'
+      end;
+      close_out oc;
+      Printf.printf "wrote %d events to %s\n" (List.length events) path
+  end
+
+let recovery_cmd =
+  let doc =
+    "Recovery sweep with typed telemetry: phase breakdown \
+     (detect/report/activate/switch), metrics registry, and JSONL / Chrome \
+     trace export. Without --metrics or --trace-out this is identical to \
+     $(b,delay)."
+  in
+  Cmd.v
+    (Cmd.info "recovery" ~doc)
+    Term.(
+      const (fun ctx n b s sc m t ->
+          finishing ctx (fun () -> run_recovery ctx n b s sc m t))
+      $ ctx_term $ network_arg $ backups_arg $ seed_arg $ scenario_count_arg
+      $ metrics_arg $ trace_out_arg)
 
 let run_schemes ctx network seed scenarios =
   let est = Eval.Setup.build ~seed ~backups:1 ~mux_degree:3 network in
@@ -422,6 +506,7 @@ let () =
             table2_cmd;
             table3_cmd;
             delay_cmd;
+            recovery_cmd;
             schemes_cmd;
             priority_cmd;
             hotspot_cmd;

@@ -41,7 +41,11 @@ type link_table = {
   mutable requirement : float; (* cached spare requirement *)
 }
 
-type t = { tables : link_table array; lambda : float }
+type t = {
+  tables : link_table array;
+  lambda : float;
+  mutable sink : (Sim.Event.t -> unit) option;
+}
 
 let create topo ~lambda =
   if lambda <= 0.0 || lambda >= 1.0 then
@@ -51,9 +55,17 @@ let create topo ~lambda =
       Array.init (Net.Topology.num_links topo) (fun _ ->
           { entries = Hashtbl.create 16; requirement = 0.0 });
     lambda;
+    sink = None;
   }
 
 let lambda t = t.lambda
+
+let set_event_sink t s = t.sink <- s
+
+let emit t ~link ~backup ~op ~pi ~psi =
+  match t.sink with
+  | None -> ()
+  | Some f -> f (Sim.Event.Mux { link; backup; op; pi; psi })
 
 let table t link =
   if link < 0 || link >= Array.length t.tables then
@@ -99,13 +111,18 @@ let register t ~link info =
       end)
     tab.entries;
   Hashtbl.add tab.entries info.backup fresh;
-  recompute_requirement tab
+  recompute_requirement tab;
+  emit t ~link ~backup:info.backup ~op:Sim.Event.Register
+    ~pi:(Iset.cardinal fresh.pi)
+    ~psi:(Hashtbl.length tab.entries - Iset.cardinal fresh.pi - 1)
 
 let unregister t ~link ~backup =
   let tab = table t link in
   match Hashtbl.find_opt tab.entries backup with
   | None -> ()
   | Some victim ->
+    let pi = Iset.cardinal victim.pi in
+    let psi = Hashtbl.length tab.entries - pi - 1 in
     Hashtbl.remove tab.entries backup;
     Hashtbl.iter
       (fun _ e ->
@@ -114,7 +131,8 @@ let unregister t ~link ~backup =
           e.pi_bw <- e.pi_bw -. victim.info.bw
         end)
       tab.entries;
-    recompute_requirement tab
+    recompute_requirement tab;
+    emit t ~link ~backup ~op:Sim.Event.Unregister ~pi ~psi
 
 let spare_requirement t ~link = (table t link).requirement
 

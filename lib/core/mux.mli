@@ -38,6 +38,12 @@ val create : Net.Topology.t -> lambda:float -> t
 
 val lambda : t -> float
 
+val set_event_sink : t -> (Sim.Event.t -> unit) option -> unit
+(** Telemetry hook: when set, {!register} and {!unregister} emit a
+    {!Sim.Event.Mux} carrying the backup's |Π| and |Ψ| on the link at
+    the time of the update (for [Unregister], the sizes it had just
+    before removal).  [None] (the default) costs nothing. *)
+
 val register : t -> link:int -> backup_info -> unit
 (** Add a backup to a link's table.
     @raise Invalid_argument if the backup id is already on the link. *)

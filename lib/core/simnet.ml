@@ -30,8 +30,10 @@ type record = {
   conn : int;
   failure_time : float;
   mutable excluded : bool;
+  mutable detected_at : float option;
   mutable src_informed : float option;
   mutable dst_informed : float option;
+  mutable activated_at : float option;
   mutable activations : (int * float) list;
   mutable resumed_at : float option;
   mutable recovered_serial : int option;
@@ -58,15 +60,70 @@ type t = {
   mutable sender_reported : bool array; (* drop-based report sent for link *)
   mutable hb_confirms : int;
   mutable hb_recoveries : int;
+  telemetry : bool;
+  metrics : Sim.Metrics.t;
+  mutable phases_observed : bool;
 }
 
 let engine t = t.engine
 let netstate t = t.ns
 let config t = t.cfg
 let trace t = t.trace
+let metrics t = t.metrics
+let telemetry_enabled t = t.telemetry
 let now t = Sim.Engine.now t.engine
 
 let tracef t tag fmt = Sim.Trace.recordf t.trace ~time:(now t) ~tag fmt
+
+(* Record one typed event and bump its registry counter.  The whole body
+   is behind [t.telemetry], so untraced runs pay a single branch. *)
+let emit t ev =
+  if t.telemetry then begin
+    Sim.Trace.record_event t.trace ~time:(now t) ev;
+    let c name labels = Sim.Metrics.incr (Sim.Metrics.counter t.metrics ~labels name) in
+    match ev with
+    | Sim.Event.Chan_transition { from_; to_; _ } ->
+      c "bcp.chan_transitions"
+        [
+          ("from", Sim.Event.chan_state_to_string from_);
+          ("to", Sim.Event.chan_state_to_string to_);
+        ]
+    | Sim.Event.Rcc { op; _ } ->
+      c "rcc.messages" [ ("op", Sim.Event.rcc_op_to_string op) ]
+    | Sim.Event.Detector { signal; _ } ->
+      c "detector.signals" [ ("signal", Sim.Event.detector_signal_to_string signal) ]
+    | Sim.Event.Activation _ -> c "bcp.activations" []
+    | Sim.Event.Rejoin_timer { op; _ } ->
+      c "bcp.rejoin_timers" [ ("op", Sim.Event.timer_op_to_string op) ]
+    | Sim.Event.Reconfig { action; _ } ->
+      c "bcp.reconfig" [ ("action", action) ]
+    | Sim.Event.Mux { op; _ } ->
+      c "mux.updates" [ ("op", Sim.Event.mux_op_to_string op) ]
+    | Sim.Event.Fault { up; _ } ->
+      c "faults" [ ("dir", if up then "repair" else "fail") ]
+  end
+
+let chan_state_ev = function
+  | Protocol.N -> Sim.Event.N
+  | Protocol.P -> Sim.Event.P
+  | Protocol.B -> Sim.Event.B
+  | Protocol.U -> Sim.Event.U
+
+(* Every [e.state <- _] on a channel entry goes through here so the typed
+   stream sees each N/P/B/U transition exactly once, with its cause. *)
+let set_chan_state t node e to_ ~cause =
+  let from_ = e.state in
+  e.state <- to_;
+  if t.telemetry && from_ <> to_ then
+    emit t
+      (Sim.Event.Chan_transition
+         {
+           node;
+           channel = e.cid;
+           from_ = chan_state_ev from_;
+           to_ = chan_state_ev to_;
+           cause;
+         })
 
 let link_alive t l =
   let lk = Net.Topology.link t.topo l in
@@ -121,7 +178,7 @@ let add_view t conn node ~is_src =
     conn.Dconn.backups;
   Hashtbl.replace t.daemons.(node).views conn.Dconn.id v
 
-let create ?(config = Protocol.default_config) ns =
+let create ?(config = Protocol.default_config) ?(telemetry = false) ns =
   let topo = Netstate.topology ns in
   let n = Net.Topology.num_nodes topo in
   let m = Net.Topology.num_links topo in
@@ -147,8 +204,20 @@ let create ?(config = Protocol.default_config) ns =
       sender_reported = [||];
       hb_confirms = 0;
       hb_recoveries = 0;
+      telemetry;
+      metrics = Sim.Metrics.create ();
+      phases_observed = false;
     }
   in
+  if telemetry then begin
+    Sim.Trace.set_events t.trace true;
+    (* With write-back enabled, soft-state teardown unregisters backups
+       through the shared mux engine; route those updates into this run's
+       event stream.  (Skipped otherwise: read-only parallel sweeps share
+       one netstate across domains and must not mutate it.) *)
+    if config.Protocol.reconfigure_netstate then
+      Mux.set_event_sink (Netstate.mux ns) (Some (emit t))
+  end;
   List.iter
     (fun conn ->
       let bw = Dconn.bandwidth conn in
@@ -174,6 +243,8 @@ let rec wire_transports t =
             ~deliver:(fun c ->
               if t.node_alive.(lk.Net.Topology.dst) then
                 handle_control t lk.Net.Topology.dst ~via:l c));
+    if t.telemetry then
+      Array.iter (fun tr -> Rcc.Transport.set_event_sink tr (Some (emit t))) t.rcc;
     apply_impairment t;
     match t.cfg.Protocol.detector with
     | Protocol.Heartbeat hb -> start_heartbeats t hb
@@ -248,8 +319,13 @@ and hb_check_tick t l =
      | `Confirmed ->
        t.hb_confirms <- t.hb_confirms + 1;
        tracef t "hb-confirm" "node %d: link %d declared failed (heartbeats)" dst l;
+       emit t
+         (Sim.Event.Detector { node = dst; link = l; signal = Sim.Event.Confirm });
        detect t dst (Net.Component.Link l)
-     | `Suspected -> tracef t "hb-suspect" "node %d: link %d suspected" dst l
+     | `Suspected ->
+       tracef t "hb-suspect" "node %d: link %d suspected" dst l;
+       emit t
+         (Sim.Event.Detector { node = dst; link = l; signal = Sim.Event.Suspect })
      | `Fine -> ());
   ignore
     (Sim.Engine.schedule_after t.engine ~delay:(hb_period t) (fun () ->
@@ -263,6 +339,8 @@ and sender_drop t l =
       t.sender_reported.(l) <- true;
       t.hb_confirms <- t.hb_confirms + 1;
       tracef t "hb-confirm" "node %d: link %d declared failed (no acks)" src l;
+      emit t
+        (Sim.Event.Detector { node = src; link = l; signal = Sim.Event.Confirm });
       detect t src (Net.Component.Link l)
     end
   end
@@ -273,7 +351,10 @@ and hb_beat t ~via =
     | `Recovered ->
       t.hb_recoveries <- t.hb_recoveries + 1;
       tracef t "hb-recover" "link %d heartbeats resumed (repair or false positive)"
-        via
+        via;
+      let dst = (Net.Topology.link t.topo via).Net.Topology.dst in
+      emit t
+        (Sim.Event.Detector { node = dst; link = via; signal = Sim.Event.Clear })
     | `Fine -> ()
 
 (* ---------- message plumbing ---------- *)
@@ -314,8 +395,10 @@ and ensure_record t conn_id =
         conn = conn_id;
         failure_time = now t;
         excluded = false;
+        detected_at = None;
         src_informed = None;
         dst_informed = None;
+        activated_at = None;
         activations = [];
         resumed_at = None;
         recovered_serial = None;
@@ -327,23 +410,30 @@ and ensure_record t conn_id =
 (* ---------- rejoin timers & soft-state teardown ---------- *)
 
 and start_rejoin_timer t node e =
-  if e.rejoin = None then
+  if e.rejoin = None then begin
     e.rejoin <-
       Some
         (Sim.Engine.schedule_after t.engine ~delay:t.cfg.Protocol.rejoin_timeout
-           (fun () -> rejoin_expired t node e))
+           (fun () -> rejoin_expired t node e));
+    emit t
+      (Sim.Event.Rejoin_timer { node; channel = e.cid; op = Sim.Event.Started })
+  end
 
-and cancel_rejoin_timer t e =
+and cancel_rejoin_timer t node e =
   match e.rejoin with
   | None -> ()
   | Some h ->
     Sim.Engine.cancel t.engine h;
-    e.rejoin <- None
+    e.rejoin <- None;
+    emit t
+      (Sim.Event.Rejoin_timer { node; channel = e.cid; op = Sim.Event.Cancelled })
 
 and rejoin_expired t node e =
   e.rejoin <- None;
   if e.state = Protocol.U then begin
-    e.state <- Protocol.N;
+    emit t
+      (Sim.Event.Rejoin_timer { node; channel = e.cid; op = Sim.Event.Expired });
+    set_chan_state t node e Protocol.N ~cause:"expire";
     tracef t "expire" "node %d: ch %d torn down (rejoin timer)" node e.cid;
     (* The source node applies the network-wide resource reconfiguration
        exactly once per channel. *)
@@ -405,7 +495,7 @@ and process_failure_report t node e comp ~tag =
   match e.state with
   | Protocol.U | Protocol.N -> () (* duplicate reports are ignored *)
   | Protocol.P | Protocol.B ->
-    e.state <- Protocol.U;
+    set_chan_state t node e Protocol.U ~cause:tag;
     tracef t "state" "node %d: ch %d -> U (%s %a)" node e.cid tag
       Net.Component.pp comp;
     start_rejoin_timer t node e;
@@ -548,6 +638,11 @@ and initiate_wave t node v serial =
       try_activate t node v
     end
     else if transition_to_p t node e then begin
+      emit t
+        (Sim.Event.Activation { node; conn = v.vconn; serial; channel = e.cid });
+      (match record_for t v.vconn with
+      | Some r when r.activated_at = None -> r.activated_at <- Some (now t)
+      | _ -> ());
       let hops = Net.Path.hops e.path in
       if v.is_src then begin
         let r = ensure_record t v.vconn in
@@ -591,8 +686,8 @@ and transition_to_p t node e =
     end
   in
   if drawn then begin
-    cancel_rejoin_timer t e;
-    e.state <- Protocol.P;
+    cancel_rejoin_timer t node e;
+    set_chan_state t node e Protocol.P ~cause:"activate";
     tracef t "activate" "node %d: ch %d -> P" node e.cid;
     true
   end
@@ -643,7 +738,8 @@ and preempt_victim t node v l =
   | None -> ()
   | Some victim_entry ->
     tracef t "preempt" "node %d: ch %d preempted on link %d" node cid l;
-    victim_entry.state <- Protocol.B (* so the report processing runs *);
+    set_chan_state t node victim_entry Protocol.B ~cause:"preempt"
+    (* so the report processing runs *);
     process_failure_report t node victim_entry (Net.Component.Link l)
       ~tag:"preempted"
 
@@ -653,7 +749,7 @@ and mux_failure_at t node e =
   tracef t "mux-fail" "node %d: ch %d spare exhausted on link %d" node e.cid l;
   (match e.state with
   | Protocol.P | Protocol.B ->
-    e.state <- Protocol.U;
+    set_chan_state t node e Protocol.U ~cause:"mux-fail";
     start_rejoin_timer t node e
   | Protocol.U | Protocol.N -> ());
   if l >= 0 then begin
@@ -728,8 +824,8 @@ and handle_be t node msg =
       if e.pos = hops then begin
         (* Destination: channel is repairable — answer with a rejoin. *)
         if e.state = Protocol.U then begin
-          cancel_rejoin_timer t e;
-          e.state <- Protocol.B;
+          cancel_rejoin_timer t node e;
+          set_chan_state t node e Protocol.B ~cause:"rejoin";
           tracef t "rejoin" "node %d: ch %d repaired (dst) -> B" node e.cid;
           if hops > 0 then
             ignore
@@ -741,8 +837,8 @@ and handle_be t node msg =
     | Protocol.Rejoin _ ->
       (match e.state with
       | Protocol.U ->
-        cancel_rejoin_timer t e;
-        e.state <- Protocol.B;
+        cancel_rejoin_timer t node e;
+        set_chan_state t node e Protocol.B ~cause:"rejoin";
         tracef t "rejoin" "node %d: ch %d repaired -> B" node e.cid;
         if e.pos > 0 then
           ignore
@@ -764,9 +860,9 @@ and handle_be t node msg =
                (Protocol.Closure { channel = e.cid }))
       | Protocol.P | Protocol.B -> ())
     | Protocol.Closure _ ->
-      cancel_rejoin_timer t e;
+      cancel_rejoin_timer t node e;
       if e.state <> Protocol.N then begin
-        e.state <- Protocol.N;
+        set_chan_state t node e Protocol.N ~cause:"closure";
         tracef t "closure" "node %d: ch %d closed" node e.cid
       end;
       if e.pos < hops then
@@ -787,6 +883,10 @@ and detect t node comp =
           if Net.Path.uses_component t.topo e.path comp then begin
             tracef t "detect" "node %d: ch %d lost %a" node e.cid
               Net.Component.pp comp;
+            if e.serial = 0 then (
+              match record_for t e.conn with
+              | Some r when r.detected_at = None -> r.detected_at <- Some (now t)
+              | _ -> ());
             process_failure_report t node e comp ~tag:"detect"
           end
         | Protocol.U | Protocol.N -> ())
@@ -814,6 +914,7 @@ let do_fail_link t l =
     t.link_failed.(l) <- true;
     refresh_link_transport t l;
     tracef t "fail" "link %d down" l;
+    emit t (Sim.Event.Fault { component = Sim.Event.Link l; up = false });
     mark_affected_conns t (Net.Component.Link l);
     let lk = Net.Topology.link t.topo l in
     (* With a heartbeat detector, nobody is told: the neighbours must
@@ -831,6 +932,7 @@ let do_fail_node t v =
   if t.node_alive.(v) then begin
     t.node_alive.(v) <- false;
     tracef t "fail" "node %d down" v;
+    emit t (Sim.Event.Fault { component = Sim.Event.Node v; up = false });
     let incident = Net.Topology.out_links t.topo v @ Net.Topology.in_links t.topo v in
     List.iter (fun l -> refresh_link_transport t l) incident;
     mark_affected_conns t (Net.Component.Node v);
@@ -861,7 +963,8 @@ let repair_link t ~at l =
          if t.link_failed.(l) then begin
            t.link_failed.(l) <- false;
            refresh_link_transport t l;
-           tracef t "repair" "link %d up" l
+           tracef t "repair" "link %d up" l;
+           emit t (Sim.Event.Fault { component = Sim.Event.Link l; up = true })
          end))
 
 let repair_node t ~at v =
@@ -871,6 +974,7 @@ let repair_node t ~at v =
          if not t.node_alive.(v) then begin
            t.node_alive.(v) <- true;
            tracef t "repair" "node %d up" v;
+           emit t (Sim.Event.Fault { component = Sim.Event.Node v; up = true });
            List.iter
              (fun l -> refresh_link_transport t l)
              (Net.Topology.out_links t.topo v @ Net.Topology.in_links t.topo v)
@@ -927,7 +1031,46 @@ let finalize t =
                 Some b.Dconn.serial
               else None)
             c.Dconn.backups)
-    t.recs
+    t.recs;
+  (* Decompose each recovery into the four protocol phases and feed them
+     to the timer metrics.  Guarded so a second finalize cannot
+     double-count; iteration is in connection order so that parallel
+     sweeps merge the same sample sequence as serial ones. *)
+  if t.telemetry && not t.phases_observed then begin
+    t.phases_observed <- true;
+    let obs name v =
+      Sim.Metrics.observe (Sim.Metrics.timer t.metrics name) (Float.max 0.0 v)
+    in
+    let sorted =
+      List.sort
+        (fun a b -> Int.compare a.conn b.conn)
+        (Hashtbl.fold (fun _ r acc -> r :: acc) t.recs [])
+    in
+    List.iter
+      (fun r ->
+        if not r.excluded then begin
+          (match r.detected_at with
+          | Some d -> obs "phase.detect" (d -. r.failure_time)
+          | None -> ());
+          let informed =
+            match (r.src_informed, r.dst_informed) with
+            | Some a, Some b -> Some (Float.min a b)
+            | (Some _ as s), None | None, (Some _ as s) -> s
+            | None, None -> None
+          in
+          (match (r.detected_at, informed) with
+          | Some d, Some i -> obs "phase.report" (i -. d)
+          | _ -> ());
+          (match (informed, r.activated_at) with
+          | Some i, Some a -> obs "phase.activate" (a -. i)
+          | _ -> ());
+          (match (r.activated_at, r.resumed_at) with
+          | Some a, Some res -> obs "phase.switch" (res -. a)
+          | _ -> ())
+        end)
+      sorted;
+    Sim.Metrics.set (Sim.Metrics.gauge t.metrics "sim.finalized_at") (now t)
+  end
 
 let records t =
   List.sort

@@ -14,16 +14,30 @@
 
 type t
 
-val create : ?config:Protocol.config -> Netstate.t -> t
+val create : ?config:Protocol.config -> ?telemetry:bool -> Netstate.t -> t
 (** Build daemons and RCCs for the current state of the network.  The
     netstate is not copied: with
     [config.reconfigure_netstate = true] the simulation writes back into
-    it (see {!Protocol.config}). *)
+    it (see {!Protocol.config}).
+
+    [telemetry] (default [false]) turns on the typed observability
+    plane: every channel-state transition, RCC message, detector signal,
+    activation, rejoin-timer update, multiplexing update and fault is
+    recorded as a {!Sim.Event.t} in the trace and counted in the
+    {!metrics} registry, and {!finalize} adds the per-recovery phase
+    breakdown (detect/report/activate/switch timers).  When off, every
+    emission site reduces to a single boolean test, so simulation
+    behaviour and all existing outputs are bit-for-bit unchanged. *)
 
 val engine : t -> Sim.Engine.t
 val netstate : t -> Netstate.t
 val config : t -> Protocol.config
 val trace : t -> Sim.Trace.t
+
+val metrics : t -> Sim.Metrics.t
+(** The run's metric registry (empty unless [~telemetry:true]). *)
+
+val telemetry_enabled : t -> bool
 
 (** {2 Fault injection} *)
 
@@ -48,8 +62,12 @@ type record = {
   conn : int;
   failure_time : float;  (** when the primary was first hit *)
   mutable excluded : bool;  (** an end node failed: unrecoverable *)
+  mutable detected_at : float option;
+      (** when a neighbour first detected the loss of the primary *)
   mutable src_informed : float option;
   mutable dst_informed : float option;
+  mutable activated_at : float option;
+      (** when an end node first committed to activating a backup *)
   mutable activations : (int * float) list;
       (** (serial, time) of each activation the source committed to,
           newest first *)
@@ -66,7 +84,10 @@ val records : t -> record list
 
 val finalize : t -> unit
 (** Validate activations: for each record, set [recovered_serial] to the
-    serial of a backup whose every node is in state [P]. *)
+    serial of a backup whose every node is in state [P].  With telemetry
+    on, also observe the phase timers ([phase.detect], [phase.report],
+    [phase.activate], [phase.switch]) once — repeated calls do not
+    double-count. *)
 
 val state_of : t -> conn:int -> serial:int -> Protocol.chan_state list
 (** The channel's state at every node along its path (source first). *)

@@ -31,8 +31,35 @@ let conn_bound ns conn d_max =
     let b = max 1 (List.length c.Bcp.Dconn.backups) in
     Some (Rcc.Bounds.recovery_delay_bound ~k ~backups:b ~d_max)
 
-let measure ?(config = Bcp.Protocol.default_config) ?(seed = 11)
-    ?(scenario_count = 16) ?(node_failures = true) ns =
+type phase_stats = { samples : int; p50 : float; p95 : float; max : float }
+
+type phases = {
+  detect : phase_stats;
+  report : phase_stats;
+  activate : phase_stats;
+  switch : phase_stats;
+}
+
+type telemetry = {
+  phases : phases;
+  metrics : Sim.Metrics.snapshot;
+  events : (int * float * Sim.Event.t) list;
+}
+
+let phase_of snapshot name =
+  match
+    List.find_opt (fun (n, labels, _) -> n = name && labels = []) snapshot
+  with
+  | Some (_, _, Sim.Metrics.Timer_v ts) ->
+    {
+      samples = ts.Sim.Metrics.observed;
+      p50 = ts.Sim.Metrics.p50;
+      p95 = ts.Sim.Metrics.p95;
+      max = ts.Sim.Metrics.vmax;
+    }
+  | _ -> { samples = 0; p50 = 0.0; p95 = 0.0; max = 0.0 }
+
+let measure_impl ~telemetry ~config ~seed ~scenario_count ~node_failures ns =
   let topo = Bcp.Netstate.topology ns in
   let rng = Sim.Prng.create seed in
   let links =
@@ -60,7 +87,7 @@ let measure ?(config = Bcp.Protocol.default_config) ?(seed = 11)
      pool; merging the per-scenario observations in scenario order makes
      the statistics byte-identical to the sequential sweep. *)
   let observe sc =
-    let sim = Bcp.Simnet.create ~config ns in
+    let sim = Bcp.Simnet.create ~config ~telemetry ns in
     Bcp.Simnet.inject sim ~at:t_fail sc;
     (* Stop before the rejoin timers tear anything down. *)
     Bcp.Simnet.run ~until:(t_fail +. (0.5 *. config.Bcp.Protocol.rejoin_timeout)) sim;
@@ -85,10 +112,19 @@ let measure ?(config = Bcp.Protocol.default_config) ?(seed = 11)
             | _ -> Some `Unrecovered)
         (Bcp.Simnet.records sim)
     in
-    (Bcp.Simnet.rcc_messages_sent sim, events)
+    let tele =
+      if telemetry then
+        Some (Bcp.Simnet.metrics sim, Sim.Trace.events (Bcp.Simnet.trace sim))
+      else None
+    in
+    (Bcp.Simnet.rcc_messages_sent sim, events, tele)
   in
-  List.iter
-    (fun (sent, events) ->
+  let merged = Sim.Metrics.create () in
+  let tagged_events = ref [] in
+  (* [Sim.Pool.map] preserves scenario order, so both the delay statistics
+     and the telemetry merge below are byte-identical under [--jobs N]. *)
+  List.iteri
+    (fun idx (sent, events, tele) ->
       rcc_sent := !rcc_sent + sent;
       List.iter
         (function
@@ -101,21 +137,62 @@ let measure ?(config = Bcp.Protocol.default_config) ?(seed = 11)
               Sim.Stats.Running.add bounds b;
               if from_detection <= b +. 1e-12 then incr within)
           | `Unrecovered -> incr unrecovered)
-        events)
+        events;
+      match tele with
+      | None -> ()
+      | Some (m, evs) ->
+        Sim.Metrics.merge_into ~into:merged m;
+        List.iter (fun (time, ev) -> tagged_events := (idx, time, ev) :: !tagged_events) evs)
     (Sim.Pool.map observe scenarios);
-  {
-    scheme = config.Bcp.Protocol.scheme;
-    scenarios = List.length scenarios;
-    samples = !samples;
-    unrecovered = !unrecovered;
-    mean = (if !samples = 0 then 0.0 else Sim.Stats.Sample.mean delays);
-    p50 = (if !samples = 0 then 0.0 else Sim.Stats.Sample.median delays);
-    p99 = (if !samples = 0 then 0.0 else Sim.Stats.Sample.percentile delays 99.0);
-    max = (if !samples = 0 then 0.0 else Sim.Stats.Sample.max delays);
-    mean_bound = Sim.Stats.Running.mean bounds;
-    within_bound_pct = Sim.Stats.ratio !within !samples;
-    rcc_sent = !rcc_sent;
-  }
+  let stats =
+    {
+      scheme = config.Bcp.Protocol.scheme;
+      scenarios = List.length scenarios;
+      samples = !samples;
+      unrecovered = !unrecovered;
+      mean = (if !samples = 0 then 0.0 else Sim.Stats.Sample.mean delays);
+      p50 = (if !samples = 0 then 0.0 else Sim.Stats.Sample.median delays);
+      p99 = (if !samples = 0 then 0.0 else Sim.Stats.Sample.percentile delays 99.0);
+      max = (if !samples = 0 then 0.0 else Sim.Stats.Sample.max delays);
+      mean_bound = Sim.Stats.Running.mean bounds;
+      within_bound_pct = Sim.Stats.ratio !within !samples;
+      rcc_sent = !rcc_sent;
+    }
+  in
+  let tele =
+    if not telemetry then None
+    else begin
+      let snapshot = Sim.Metrics.snapshot merged in
+      Some
+        {
+          phases =
+            {
+              detect = phase_of snapshot "phase.detect";
+              report = phase_of snapshot "phase.report";
+              activate = phase_of snapshot "phase.activate";
+              switch = phase_of snapshot "phase.switch";
+            };
+          metrics = snapshot;
+          events = List.rev !tagged_events;
+        }
+    end
+  in
+  (stats, tele)
+
+let measure ?(config = Bcp.Protocol.default_config) ?(seed = 11)
+    ?(scenario_count = 16) ?(node_failures = true) ns =
+  fst
+    (measure_impl ~telemetry:false ~config ~seed ~scenario_count
+       ~node_failures ns)
+
+let measure_telemetry ?(config = Bcp.Protocol.default_config) ?(seed = 11)
+    ?(scenario_count = 16) ?(node_failures = true) ns =
+  match
+    measure_impl ~telemetry:true ~config ~seed ~scenario_count ~node_failures
+      ns
+  with
+  | stats, Some tele -> (stats, tele)
+  | _, None -> assert false
 
 let ms v = Printf.sprintf "%.3f ms" (1000.0 *. v)
 
@@ -135,7 +212,7 @@ let report stats_list =
         ]
   in
   List.iter
-    (fun s ->
+    (fun (s : stats) ->
       Report.add_row r ~label:(scheme_label s.scheme)
         ~cells:
           [
@@ -150,6 +227,38 @@ let report stats_list =
           ])
     stats_list;
   r
+
+let phase_rows (ph : phases) =
+  [
+    ("detect", ph.detect);
+    ("report", ph.report);
+    ("activate", ph.activate);
+    ("switch", ph.switch);
+  ]
+
+let phases_report (ph : phases) =
+  let r =
+    Report.make ~title:"Recovery-phase breakdown"
+      ~columns:[ "samples"; "p50"; "p95"; "max" ]
+  in
+  List.iter
+    (fun (label, (p : phase_stats)) ->
+      Report.add_row r ~label
+        ~cells:[ string_of_int p.samples; ms p.p50; ms p.p95; ms p.max ])
+    (phase_rows ph);
+  r
+
+let phases_to_json (ph : phases) =
+  let phase (p : phase_stats) =
+    Json.Obj
+      [
+        ("samples", Json.Int p.samples);
+        ("p50", Json.Float p.p50);
+        ("p95", Json.Float p.p95);
+        ("max", Json.Float p.max);
+      ]
+  in
+  Json.Obj (List.map (fun (label, p) -> (label, phase p)) (phase_rows ph))
 
 let compare_schemes ?(seed = 11) ?(scenario_count = 8) ns =
   let stats =

@@ -34,7 +34,55 @@ val measure :
     when [node_failures], default true) scenarios, one fresh protocol
     simulation each. *)
 
+(** {2 Telemetry}
+
+    The phase decomposition of each recovery, per Section 4's pipeline:
+    [detect] (component loss noticed by a neighbour, counted from the
+    failure instant), [report] (failure report reaches the first end
+    node), [activate] (end node commits to a backup) and [switch]
+    (activation wave completes and the source resumes sending). *)
+
+type phase_stats = {
+  samples : int;
+  p50 : float;
+  p95 : float;
+  max : float;  (** seconds *)
+}
+
+type phases = {
+  detect : phase_stats;
+  report : phase_stats;
+  activate : phase_stats;
+  switch : phase_stats;
+}
+
+type telemetry = {
+  phases : phases;
+  metrics : Sim.Metrics.snapshot;
+      (** merged across scenarios in scenario order *)
+  events : (int * float * Sim.Event.t) list;
+      (** (scenario index, sim time, event), scenario-major order *)
+}
+
+val measure_telemetry :
+  ?config:Bcp.Protocol.config ->
+  ?seed:int ->
+  ?scenario_count:int ->
+  ?node_failures:bool ->
+  Bcp.Netstate.t ->
+  stats * telemetry
+(** Same sweep as {!measure} with per-scenario telemetry on; the returned
+    [stats] are identical to {!measure}'s (instrumentation is passive),
+    and the telemetry is byte-identical under any {!Sim.Pool.set_jobs}
+    setting. *)
+
 val report : stats list -> Report.t
+
+val phases_report : phases -> Report.t
+(** Rows detect/report/activate/switch; delay columns in ms. *)
+
+val phases_to_json : phases -> Json.t
+(** Durations in seconds (raw floats, not rendered strings). *)
 
 val compare_schemes :
   ?seed:int -> ?scenario_count:int -> Bcp.Netstate.t -> Report.t

@@ -74,9 +74,12 @@ let establish_all ?(seed = 42) ?policy ?backup_routing ?(progress_every = 250) ?
   }
 
 let build ?(seed = 42) ?(backups = 1) ?(mux_degree = 1) ?(lambda = 1e-4)
-    ?(policy = Bcp.Netstate.Multiplexed) ?backup_routing network =
+    ?(policy = Bcp.Netstate.Multiplexed) ?backup_routing ?mux_sink network =
   let topo = topology_of network in
   let ns = Bcp.Netstate.create ~lambda ~policy topo () in
+  (match mux_sink with
+  | None -> ()
+  | Some f -> Bcp.Mux.set_event_sink (Bcp.Netstate.mux ns) (Some f));
   let rng = Sim.Prng.create seed in
   let requests =
     Workload.Generator.shuffled rng

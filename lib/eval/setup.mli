@@ -50,11 +50,15 @@ val build :
   ?lambda:float ->
   ?policy:Bcp.Netstate.spare_policy ->
   ?backup_routing:Bcp.Establish.backup_routing ->
+  ?mux_sink:(Sim.Event.t -> unit) ->
   network ->
   establishment
 (** The paper's standard pass: all 4032 ordered-pair connections, 1 Mbps
     each, hop slack 2, shuffled with [seed] (default 42), uniform backup
-    count (default 1) and multiplexing degree (default 1). *)
+    count (default 1) and multiplexing degree (default 1).
+    [mux_sink] is attached to the netstate's multiplexing engine before
+    establishment, so it sees one {!Sim.Event.Mux} per backup-link
+    registration (with its |Π| / |Ψ| sizes). *)
 
 val build_mixed :
   ?seed:int ->

@@ -1,0 +1,33 @@
+(** Exporters for the typed telemetry plane ({!Sim.Event},
+    {!Sim.Metrics}): JSON codecs, JSONL event logs, Chrome [trace_event]
+    files and plain-text metric tables.
+
+    All output is deterministic — events keep recording order, metric
+    snapshots are already sorted — so telemetry from an [--jobs N] sweep
+    is byte-identical to a sequential one. *)
+
+val event_to_json : Sim.Event.t -> Json.t
+(** One object per event, tagged with a ["type"] member (the
+    {!Sim.Event.type_tag}). *)
+
+val event_of_json : Json.t -> (Sim.Event.t, string) result
+(** Inverse of {!event_to_json}. *)
+
+val events_to_jsonl : (int * float * Sim.Event.t) list -> string
+(** One compact JSON object per line for each (scenario, time, event)
+    triple, with ["scenario"] and ["time"] members prepended. *)
+
+val events_to_chrome : (int * float * Sim.Event.t) list -> Json.t
+(** Chrome [trace_event] JSON (load in [chrome://tracing] or Perfetto):
+    instant events, [ts] in microseconds, [pid] = scenario index,
+    [tid] = acting node (or link / connection) id. *)
+
+val metrics_to_json : Sim.Metrics.snapshot -> Json.t
+(** Array of [{"name", "labels", "kind", "value"}] objects; timer values
+    carry the full histogram. *)
+
+val metrics_of_json : Json.t -> (Sim.Metrics.snapshot, string) result
+(** Inverse of {!metrics_to_json}. *)
+
+val metrics_report : Sim.Metrics.snapshot -> Report.t
+(** Text table: one row per metric. *)

@@ -32,6 +32,7 @@ type t = {
   mutable alive : bool;
   mutable impair : impairment option;
   mutable on_drop : unit -> unit;
+  mutable on_event : (Sim.Event.t -> unit) option;
   queue : Control.t Queue.t;
   pending : (Control.t, unit) Hashtbl.t; (* dedup of queued messages *)
   unacked : (int, rcc_message) Hashtbl.t; (* awaiting hop-by-hop ack *)
@@ -60,6 +61,7 @@ let create ?impair engine ~params ~link ~deliver =
     alive = true;
     impair;
     on_drop = (fun () -> ());
+    on_event = None;
     queue = Queue.create ();
     pending = Hashtbl.create 64;
     unacked = Hashtbl.create 16;
@@ -85,6 +87,12 @@ let seen_size t = Hashtbl.length t.seen
 
 let set_impairment t i = t.impair <- i
 let set_drop_handler t f = t.on_drop <- f
+let set_event_sink t s = t.on_event <- s
+
+let emit t ~op ~seq ~bytes =
+  match t.on_event with
+  | None -> ()
+  | Some f -> f (Sim.Event.Rcc { link = t.link; op; seq; bytes })
 
 (* Delivery latency: a fraction of the worst case that grows with the RCC
    message size, so the D_max bound is respected but not trivially equal. *)
@@ -107,6 +115,7 @@ let note_airborne t seq delta =
 
 let receive t (m : rcc_message) =
   if not (Hashtbl.mem t.seen m.seq) then begin
+    emit t ~op:Sim.Event.Deliver ~seq:m.seq ~bytes:m.bytes;
     Hashtbl.add t.seen m.seq ();
     Queue.add m.seq t.seen_order;
     (* Sliding-window bound on the dedup table: a seq old enough to be
@@ -124,7 +133,11 @@ let receive t (m : rcc_message) =
       m.payload
   end
 
-let ack_received t seq = Hashtbl.remove t.unacked seq
+let ack_received t seq =
+  if Hashtbl.mem t.unacked seq then begin
+    emit t ~op:Sim.Event.Ack ~seq ~bytes:ack_bytes;
+    Hashtbl.remove t.unacked seq
+  end
 
 (* The hop-by-hop ack traverses the same impaired link in the reverse
    direction: it can be lost or duplicated like any other transmission,
@@ -141,6 +154,9 @@ let send_ack t (m : rcc_message) =
 
 let rec transmit t (m : rcc_message) ~attempt =
   t.sent <- t.sent + 1;
+  emit t
+    ~op:(if attempt = 1 then Sim.Event.Send else Sim.Event.Retransmit)
+    ~seq:m.seq ~bytes:m.bytes;
   if t.alive then begin
     let base = delivery_delay t m.bytes in
     List.iter
@@ -166,6 +182,7 @@ let rec transmit t (m : rcc_message) ~attempt =
            if attempt >= t.params.max_retransmits then begin
              Hashtbl.remove t.unacked m.seq;
              t.dropped <- t.dropped + 1;
+             emit t ~op:Sim.Event.Drop ~seq:m.seq ~bytes:m.bytes;
              t.on_drop ()
            end
            else transmit t m ~attempt:(attempt + 1)))

@@ -72,6 +72,13 @@ val set_drop_handler : t -> (unit -> unit) -> unit
     [max_retransmits].  A persistent absence of acknowledgments is the
     sender-side failure signal the heartbeat detector consumes. *)
 
+val set_event_sink : t -> (Sim.Event.t -> unit) option -> unit
+(** Telemetry hook: when set, every RCC-message lifecycle step emits a
+    {!Sim.Event.Rcc} ([Send] on first transmission, [Retransmit] on
+    resends, [Deliver] once per message accepted after dedup, [Ack] when
+    an acknowledgment lands, [Drop] on retransmit exhaustion).  [None]
+    (the default) is free: no events are constructed. *)
+
 val queue_length : t -> int
 (** Control messages waiting for an RCC slot. *)
 

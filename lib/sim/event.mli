@@ -1,0 +1,75 @@
+(** Typed protocol telemetry events.
+
+    The flat string entries of {!Trace} are good enough for eyeballing a
+    run, but attributing recovery delay to protocol phases, or watching
+    spare-bandwidth and multiplexing state evolve, needs structure.  This
+    is the shared event vocabulary emitted (when enabled) by the BCP
+    daemons, the RCC transports and the multiplexing engine, and consumed
+    by the exporters (JSONL event logs, Chrome [trace_event] files) and
+    the metrics registry.
+
+    Events carry plain integers so the vocabulary can live below every
+    protocol layer; the string codecs ([*_to_string] / [*_of_string]) are
+    total inverses of each other and are what the JSON encoders use. *)
+
+(** Per-node channel states (mirrors [Bcp.Protocol.chan_state]). *)
+type chan_state = N | P | B | U
+
+val chan_state_to_string : chan_state -> string
+val chan_state_of_string : string -> chan_state option
+
+(** Lifecycle of one RCC message on one link. *)
+type rcc_op = Send | Retransmit | Deliver | Ack | Drop
+
+val rcc_op_to_string : rcc_op -> string
+val rcc_op_of_string : string -> rcc_op option
+
+(** Heartbeat failure-detector transitions ([Clear] = a confirmed-dead
+    link produced a beat again: repair or false positive). *)
+type detector_signal = Suspect | Confirm | Clear
+
+val detector_signal_to_string : detector_signal -> string
+val detector_signal_of_string : string -> detector_signal option
+
+(** Soft-state rejoin-timer lifecycle (Section 4.4). *)
+type timer_op = Started | Cancelled | Expired
+
+val timer_op_to_string : timer_op -> string
+val timer_op_of_string : string -> timer_op option
+
+type mux_op = Register | Unregister
+
+val mux_op_to_string : mux_op -> string
+val mux_op_of_string : string -> mux_op option
+
+type component = Node of int | Link of int
+
+type t =
+  | Chan_transition of {
+      node : int;
+      channel : int;
+      from_ : chan_state;
+      to_ : chan_state;
+      cause : string;  (** e.g. "detect", "report", "activate", "rejoin" *)
+    }
+  | Rcc of { link : int; op : rcc_op; seq : int; bytes : int }
+  | Detector of { node : int; link : int; signal : detector_signal }
+  | Activation of { node : int; conn : int; serial : int; channel : int }
+      (** an end node committed to a backup and started the activation
+          wave *)
+  | Rejoin_timer of { node : int; channel : int; op : timer_op }
+  | Reconfig of { conn : int; action : string }
+      (** resource reconfiguration steps: "promoted", "torn-down",
+          "backup-closed", "replacement-added", "replacement-failed",
+          "unrecovered" *)
+  | Mux of { link : int; backup : int; op : mux_op; pi : int; psi : int }
+      (** multiplexing-table update with the resulting |Π| and |Ψ| of the
+          backup on that link *)
+  | Fault of { component : component; up : bool }
+
+val type_tag : t -> string
+(** Stable constructor tag: "chan", "rcc", "detector", "activation",
+    "rejoin-timer", "reconfig", "mux", "fault". *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

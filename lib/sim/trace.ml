@@ -5,11 +5,25 @@ type t = {
   buf : entry option array;
   mutable next : int; (* next write slot *)
   mutable total : int;
+  mutable events_on : bool;
+  mutable events : (float * Event.t) array; (* typed events, grows on demand *)
+  mutable nevents : int;
 }
 
 let create ?(capacity = 65536) () =
-  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
-  { capacity; buf = Array.make capacity None; next = 0; total = 0 }
+  if capacity <= 0 then
+    invalid_arg
+      (Printf.sprintf "Trace.create: capacity must be positive (got %d)"
+         capacity);
+  {
+    capacity;
+    buf = Array.make capacity None;
+    next = 0;
+    total = 0;
+    events_on = false;
+    events = [||];
+    nevents = 0;
+  }
 
 let record t ~time ~tag detail =
   t.buf.(t.next) <- Some { time; tag; detail };
@@ -35,10 +49,34 @@ let count t = t.total
 
 let find_all t ~tag = List.filter (fun e -> String.equal e.tag tag) (entries t)
 
+(* ---------- typed events ---------- *)
+
+let set_events t on = t.events_on <- on
+let events_enabled t = t.events_on
+
+let record_event t ~time ev =
+  if t.events_on then begin
+    let cap = Array.length t.events in
+    if t.nevents = cap then begin
+      let ncap = if cap = 0 then 256 else cap * 2 in
+      let nbuf = Array.make ncap (0.0, ev) in
+      Array.blit t.events 0 nbuf 0 t.nevents;
+      t.events <- nbuf
+    end;
+    t.events.(t.nevents) <- (time, ev);
+    t.nevents <- t.nevents + 1
+  end
+
+let events t = Array.to_list (Array.sub t.events 0 t.nevents)
+
+let event_count t = t.nevents
+
 let clear t =
   Array.fill t.buf 0 t.capacity None;
   t.next <- 0;
-  t.total <- 0
+  t.total <- 0;
+  t.events <- [||];
+  t.nevents <- 0
 
 let pp_entry ppf e = Format.fprintf ppf "[%10.6f] %-18s %s" e.time e.tag e.detail
 

@@ -2,14 +2,21 @@
 
     The protocol simulator records one entry per interesting action
     (message sent, state transition, timer fired...).  Tests assert on the
-    recorded sequences; examples print them. *)
+    recorded sequences; examples print them.
+
+    Alongside the human-readable string ring, a trace can carry {e typed}
+    {!Event.t} records for the telemetry exporters.  Typed recording is
+    off by default and {!record_event} is a no-op until {!set_events}
+    enables it, so untraced runs pay a single branch and allocate
+    nothing. *)
 
 type entry = { time : float; tag : string; detail : string }
 
 type t
 
 val create : ?capacity:int -> unit -> t
-(** Ring buffer; default capacity 65536.  When full, oldest entries drop. *)
+(** Ring buffer; default capacity 65536.  When full, oldest entries drop.
+    @raise Invalid_argument if [capacity] is zero or negative. *)
 
 val record : t -> time:float -> tag:string -> string -> unit
 
@@ -24,9 +31,30 @@ val count : t -> int
 (** Number of entries recorded since creation (including dropped ones). *)
 
 val find_all : t -> tag:string -> entry list
+(** Linear scan: O(min (count, capacity)) per call — fine for tests and
+    post-mortems, not for per-event hot paths. *)
 
 val clear : t -> unit
+(** Drops the string ring {e and} the typed-event buffer (the
+    {!set_events} flag itself is untouched). *)
 
 val pp_entry : Format.formatter -> entry -> unit
 
 val dump : Format.formatter -> t -> unit
+
+(** {1 Typed events} *)
+
+val set_events : t -> bool -> unit
+(** Enable / disable typed-event recording (default: disabled). *)
+
+val events_enabled : t -> bool
+
+val record_event : t -> time:float -> Event.t -> unit
+(** Append a typed event; no-op (and allocation-free) while typed
+    recording is disabled.  The typed buffer is unbounded — unlike the
+    string ring it never drops, so exporters see the full run. *)
+
+val events : t -> (float * Event.t) list
+(** Chronological (recording order). *)
+
+val event_count : t -> int

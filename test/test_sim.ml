@@ -233,6 +233,29 @@ let test_histogram () =
   Alcotest.(check int) "total" 6 (Sim.Stats.Histogram.total h);
   Alcotest.(check int) "edges" 11 (Array.length (Sim.Stats.Histogram.bin_edges h))
 
+let test_sample_single () =
+  let s = Sim.Stats.Sample.create () in
+  Sim.Stats.Sample.add s 7.5;
+  check_float "median" 7.5 (Sim.Stats.Sample.median s);
+  check_float "p0" 7.5 (Sim.Stats.Sample.percentile s 0.0);
+  check_float "p50" 7.5 (Sim.Stats.Sample.percentile s 50.0);
+  check_float "p100" 7.5 (Sim.Stats.Sample.percentile s 100.0)
+
+let test_histogram_clamp_boundaries () =
+  let h = Sim.Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~bins:10 in
+  (* Exactly lo -> first bin; exactly hi -> last bin; an interior bin
+     edge goes to the bin it opens. *)
+  List.iter (Sim.Stats.Histogram.add h) [ 0.0; 10.0; 5.0 ];
+  let counts = Sim.Stats.Histogram.counts h in
+  Alcotest.(check int) "lo in bin0" 1 counts.(0);
+  Alcotest.(check int) "hi in last bin" 1 counts.(9);
+  Alcotest.(check int) "edge opens bin5" 1 counts.(5);
+  (* Clamped outliers join the edge bins. *)
+  List.iter (Sim.Stats.Histogram.add h) [ -1e9; 1e9 ];
+  let counts = Sim.Stats.Histogram.counts h in
+  Alcotest.(check int) "below lo clamps to bin0" 2 counts.(0);
+  Alcotest.(check int) "above hi clamps to last" 2 counts.(9)
+
 let test_ratio () =
   check_float "basic" 50.0 (Sim.Stats.ratio 1 2);
   check_float "zero denominator" 0.0 (Sim.Stats.ratio 5 0)
@@ -274,6 +297,58 @@ let test_trace_clear () =
   Sim.Trace.record t ~time:0.0 ~tag:"x" "y";
   Sim.Trace.clear t;
   Alcotest.(check int) "cleared" 0 (List.length (Sim.Trace.entries t))
+
+let test_trace_create_rejects_nonpositive () =
+  Alcotest.check_raises "zero"
+    (Invalid_argument "Trace.create: capacity must be positive (got 0)")
+    (fun () -> ignore (Sim.Trace.create ~capacity:0 ()));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Trace.create: capacity must be positive (got -3)")
+    (fun () -> ignore (Sim.Trace.create ~capacity:(-3) ()))
+
+let ev_a = Sim.Event.Fault { component = Sim.Event.Link 3; up = false }
+
+let ev_b =
+  Sim.Event.Chan_transition
+    { node = 1; channel = 64; from_ = Sim.Event.P; to_ = Sim.Event.U; cause = "detect" }
+
+let test_trace_events_disabled_noop () =
+  let t = Sim.Trace.create () in
+  Alcotest.(check bool) "off by default" false (Sim.Trace.events_enabled t);
+  Sim.Trace.record_event t ~time:1.0 ev_a;
+  Alcotest.(check int) "nothing recorded" 0 (Sim.Trace.event_count t);
+  Alcotest.(check bool) "empty" true (Sim.Trace.events t = [])
+
+let test_trace_events_capture () =
+  let t = Sim.Trace.create () in
+  Sim.Trace.set_events t true;
+  Sim.Trace.record_event t ~time:1.0 ev_a;
+  Sim.Trace.record_event t ~time:2.0 ev_b;
+  Alcotest.(check int) "two events" 2 (Sim.Trace.event_count t);
+  (match Sim.Trace.events t with
+  | [ (t1, e1); (t2, e2) ] ->
+    check_float "first time" 1.0 t1;
+    check_float "second time" 2.0 t2;
+    Alcotest.(check bool) "order kept" true (e1 = ev_a && e2 = ev_b)
+  | _ -> Alcotest.fail "expected two events in order");
+  Sim.Trace.clear t;
+  Alcotest.(check int) "clear drops events" 0 (Sim.Trace.event_count t);
+  Alcotest.(check bool) "flag survives clear" true (Sim.Trace.events_enabled t)
+
+let test_trace_events_growth () =
+  (* Push past the initial buffer capacity to exercise doubling. *)
+  let t = Sim.Trace.create () in
+  Sim.Trace.set_events t true;
+  for i = 1 to 1000 do
+    Sim.Trace.record_event t ~time:(float_of_int i)
+      (Sim.Event.Rcc { link = i; op = Sim.Event.Send; seq = i; bytes = 64 })
+  done;
+  Alcotest.(check int) "all kept" 1000 (Sim.Trace.event_count t);
+  match List.rev (Sim.Trace.events t) with
+  | (tl, Sim.Event.Rcc { link; _ }) :: _ ->
+    check_float "last time" 1000.0 tl;
+    Alcotest.(check int) "last link" 1000 link
+  | _ -> Alcotest.fail "expected Rcc event last"
 
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
@@ -321,7 +396,10 @@ let () =
           Alcotest.test_case "running" `Quick test_running_stats;
           Alcotest.test_case "merge" `Quick test_running_merge;
           Alcotest.test_case "percentiles" `Quick test_sample_percentiles;
+          Alcotest.test_case "single sample" `Quick test_sample_single;
           Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "histogram clamp boundaries" `Quick
+            test_histogram_clamp_boundaries;
           Alcotest.test_case "ratio" `Quick test_ratio;
         ] );
       qsuite "stats-props" [ prop_welford_matches_naive ];
@@ -330,5 +408,11 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_trace_roundtrip;
           Alcotest.test_case "ring overflow" `Quick test_trace_ring_overflow;
           Alcotest.test_case "clear" `Quick test_trace_clear;
+          Alcotest.test_case "create rejects capacity <= 0" `Quick
+            test_trace_create_rejects_nonpositive;
+          Alcotest.test_case "events disabled no-op" `Quick
+            test_trace_events_disabled_noop;
+          Alcotest.test_case "events capture" `Quick test_trace_events_capture;
+          Alcotest.test_case "events growth" `Quick test_trace_events_growth;
         ] );
     ]

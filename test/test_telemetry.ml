@@ -1,0 +1,280 @@
+(* Tests for the typed telemetry plane: metrics registry, event JSON
+   codecs, exporters, and the instrumented recovery sweep. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---------- metrics registry ---------- *)
+
+let test_counter_basics () =
+  let m = Sim.Metrics.create () in
+  let c = Sim.Metrics.counter m "rcc.messages" ~labels:[ ("op", "send") ] in
+  Sim.Metrics.incr c;
+  Sim.Metrics.incr ~by:4 c;
+  Alcotest.(check int) "count" 5 (Sim.Metrics.count c);
+  (* Find-or-create returns the same handle; label order is irrelevant. *)
+  let c' = Sim.Metrics.counter m "rcc.messages" ~labels:[ ("op", "send") ] in
+  Sim.Metrics.incr c';
+  Alcotest.(check int) "shared" 6 (Sim.Metrics.count c)
+
+let test_gauge_and_timer () =
+  let m = Sim.Metrics.create () in
+  let g = Sim.Metrics.gauge m "load" in
+  Sim.Metrics.set g 0.25;
+  Sim.Metrics.set g 0.75;
+  check_float "last set wins" 0.75 (Sim.Metrics.value g);
+  let t = Sim.Metrics.timer m "phase.detect" in
+  List.iter (Sim.Metrics.observe t) [ 0.001; 0.002; 0.003 ];
+  Alcotest.(check int) "observations" 3 (Sim.Metrics.observations t)
+
+let test_kind_conflict_rejected () =
+  let m = Sim.Metrics.create () in
+  ignore (Sim.Metrics.counter m "x");
+  Alcotest.(check bool) "gauge on counter name raises" true
+    (try
+       ignore (Sim.Metrics.gauge m "x");
+       false
+     with Invalid_argument _ -> true)
+
+let test_snapshot_sorted () =
+  let m = Sim.Metrics.create () in
+  Sim.Metrics.incr (Sim.Metrics.counter m "zeta");
+  Sim.Metrics.incr (Sim.Metrics.counter m "alpha" ~labels:[ ("b", "2") ]);
+  Sim.Metrics.incr (Sim.Metrics.counter m "alpha" ~labels:[ ("a", "1") ]);
+  let names = List.map (fun (n, l, _) -> (n, l)) (Sim.Metrics.snapshot m) in
+  Alcotest.(check bool) "sorted by name then labels" true
+    (names
+    = [ ("alpha", [ ("a", "1") ]); ("alpha", [ ("b", "2") ]); ("zeta", []) ])
+
+let test_merge_matches_sequential () =
+  (* Observing everything in one registry must equal splitting the same
+     (ordered) observations across two registries and merging them. *)
+  let direct = Sim.Metrics.create () in
+  let a = Sim.Metrics.create () and b = Sim.Metrics.create () in
+  let feed m vals =
+    let c = Sim.Metrics.counter m "events" in
+    let g = Sim.Metrics.gauge m "last" in
+    let t = Sim.Metrics.timer m "delay" in
+    List.iter
+      (fun v ->
+        Sim.Metrics.incr c;
+        Sim.Metrics.set g v;
+        Sim.Metrics.observe t v)
+      vals
+  in
+  let first = [ 0.001; 0.005; 0.002 ] and second = [ 0.004; 0.003 ] in
+  feed direct (first @ second);
+  feed a first;
+  feed b second;
+  let merged = Sim.Metrics.create () in
+  Sim.Metrics.merge_into ~into:merged a;
+  Sim.Metrics.merge_into ~into:merged b;
+  Alcotest.(check bool) "snapshots equal" true
+    (Sim.Metrics.snapshot merged = Sim.Metrics.snapshot direct)
+
+(* ---------- event JSON round-trips ---------- *)
+
+let all_events =
+  [
+    Sim.Event.Chan_transition
+      { node = 3; channel = 130; from_ = Sim.Event.P; to_ = Sim.Event.U; cause = "detect" };
+    Sim.Event.Rcc { link = 7; op = Sim.Event.Retransmit; seq = 42; bytes = 64 };
+    Sim.Event.Detector { node = 1; link = 9; signal = Sim.Event.Suspect };
+    Sim.Event.Activation { node = 0; conn = 5; serial = 1; channel = 321 };
+    Sim.Event.Rejoin_timer { node = 2; channel = 66; op = Sim.Event.Expired };
+    Sim.Event.Reconfig { conn = 8; action = "promoted" };
+    Sim.Event.Mux { link = 4; backup = 77; op = Sim.Event.Register; pi = 2; psi = 5 };
+    Sim.Event.Fault { component = Sim.Event.Node 6; up = true };
+  ]
+
+let test_event_roundtrip () =
+  List.iter
+    (fun ev ->
+      (* Through the printer/parser too, not just the constructors. *)
+      let s = Eval.Json.to_string (Eval.Telemetry.event_to_json ev) in
+      match Eval.Json.of_string s with
+      | Error e -> Alcotest.failf "reparse failed for %s: %s" s e
+      | Ok j -> (
+        match Eval.Telemetry.event_of_json j with
+        | Ok ev' ->
+          if ev' <> ev then
+            Alcotest.failf "round-trip changed %s" (Sim.Event.to_string ev)
+        | Error e ->
+          Alcotest.failf "decode failed for %s: %s" (Sim.Event.to_string ev) e))
+    all_events
+
+let test_event_decode_rejects_garbage () =
+  let bad j =
+    match Eval.Telemetry.event_of_json j with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "unknown type" true
+    (bad (Eval.Json.Obj [ ("type", Eval.Json.String "nope") ]));
+  Alcotest.(check bool) "missing field" true
+    (bad (Eval.Json.Obj [ ("type", Eval.Json.String "rcc") ]))
+
+let test_string_codecs_total () =
+  let chk to_s of_s vs =
+    List.iter
+      (fun v ->
+        match of_s (to_s v) with
+        | Some v' when v' = v -> ()
+        | _ -> Alcotest.failf "codec not inverse on %s" (to_s v))
+      vs
+  in
+  chk Sim.Event.chan_state_to_string Sim.Event.chan_state_of_string
+    [ Sim.Event.N; Sim.Event.P; Sim.Event.B; Sim.Event.U ];
+  chk Sim.Event.rcc_op_to_string Sim.Event.rcc_op_of_string
+    [ Sim.Event.Send; Sim.Event.Retransmit; Sim.Event.Deliver; Sim.Event.Ack; Sim.Event.Drop ];
+  chk Sim.Event.detector_signal_to_string Sim.Event.detector_signal_of_string
+    [ Sim.Event.Suspect; Sim.Event.Confirm; Sim.Event.Clear ];
+  chk Sim.Event.timer_op_to_string Sim.Event.timer_op_of_string
+    [ Sim.Event.Started; Sim.Event.Cancelled; Sim.Event.Expired ];
+  chk Sim.Event.mux_op_to_string Sim.Event.mux_op_of_string
+    [ Sim.Event.Register; Sim.Event.Unregister ]
+
+let test_metrics_json_roundtrip () =
+  let m = Sim.Metrics.create () in
+  Sim.Metrics.incr ~by:7 (Sim.Metrics.counter m "c" ~labels:[ ("k", "v") ]);
+  Sim.Metrics.set (Sim.Metrics.gauge m "g") 1.5;
+  List.iter (Sim.Metrics.observe (Sim.Metrics.timer m "t")) [ 0.01; 0.02 ];
+  let snap = Sim.Metrics.snapshot m in
+  let s = Eval.Json.to_string (Eval.Telemetry.metrics_to_json snap) in
+  match Eval.Json.of_string s with
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+  | Ok j -> (
+    match Eval.Telemetry.metrics_of_json j with
+    | Ok snap' ->
+      Alcotest.(check bool) "snapshot round-trips" true (snap' = snap)
+    | Error e -> Alcotest.failf "decode failed: %s" e)
+
+let test_exporters_shape () =
+  let events = List.mapi (fun i ev -> (i, 0.001 *. float_of_int i, ev)) all_events in
+  let jsonl = Eval.Telemetry.events_to_jsonl events in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' jsonl)
+  in
+  Alcotest.(check int) "one line per event" (List.length events)
+    (List.length lines);
+  List.iter
+    (fun line ->
+      match Eval.Json.of_string line with
+      | Ok j ->
+        Alcotest.(check bool) "has scenario" true
+          (Eval.Json.member "scenario" j <> None)
+      | Error e -> Alcotest.failf "bad JSONL line %s: %s" line e)
+    lines;
+  let chrome = Eval.Json.to_string (Eval.Telemetry.events_to_chrome events) in
+  match Eval.Json.of_string chrome with
+  | Error e -> Alcotest.failf "chrome trace unparseable: %s" e
+  | Ok j ->
+    let te =
+      match Eval.Json.member "traceEvents" j with
+      | Some l -> Eval.Json.to_list l
+      | None -> []
+    in
+    Alcotest.(check int) "traceEvents count" (List.length events)
+      (List.length te)
+
+(* ---------- instrumented recovery sweep ---------- *)
+
+let sweep ?(jobs = 1) () =
+  Sim.Pool.set_jobs jobs;
+  let est = Eval.Setup.build ~seed:42 ~backups:1 ~mux_degree:3 Eval.Setup.Torus4 in
+  let out =
+    Eval.Recovery_delay.measure_telemetry ~seed:11 ~scenario_count:4
+      est.Eval.Setup.ns
+  in
+  Sim.Pool.set_jobs 1;
+  out
+
+let test_recovery_telemetry () =
+  let stats, tele = sweep () in
+  let ph = tele.Eval.Recovery_delay.phases in
+  Alcotest.(check bool) "recovered something" true (stats.Eval.Recovery_delay.samples > 0);
+  Alcotest.(check bool) "phase samples collected" true
+    (ph.Eval.Recovery_delay.detect.Eval.Recovery_delay.samples > 0
+    && ph.Eval.Recovery_delay.switch.Eval.Recovery_delay.samples > 0);
+  Alcotest.(check bool) "events recorded" true
+    (tele.Eval.Recovery_delay.events <> []);
+  Alcotest.(check bool) "metrics recorded" true
+    (tele.Eval.Recovery_delay.metrics <> []);
+  (* Phases are durations: non-negative, and p50 <= max. *)
+  List.iter
+    (fun (p : Eval.Recovery_delay.phase_stats) ->
+      Alcotest.(check bool) "non-negative" true (p.p50 >= 0.0 && p.max >= 0.0);
+      Alcotest.(check bool) "p50 <= max" true (p.p50 <= p.max +. 1e-12))
+    [
+      ph.Eval.Recovery_delay.detect;
+      ph.Eval.Recovery_delay.report;
+      ph.Eval.Recovery_delay.activate;
+      ph.Eval.Recovery_delay.switch;
+    ]
+
+let test_recovery_stats_unchanged_by_telemetry () =
+  (* The instrumented sweep must report the same statistics as the plain
+     one: telemetry is strictly passive. *)
+  let est = Eval.Setup.build ~seed:42 ~backups:1 ~mux_degree:3 Eval.Setup.Torus4 in
+  let plain =
+    Eval.Recovery_delay.measure ~seed:11 ~scenario_count:4 est.Eval.Setup.ns
+  in
+  let stats, _ = sweep () in
+  Alcotest.(check bool) "stats identical" true (stats = plain)
+
+let test_recovery_telemetry_parallel_identical () =
+  let stats_s, tele_s = sweep () in
+  let stats_p, tele_p = sweep ~jobs:4 () in
+  Alcotest.(check bool) "stats identical" true (stats_s = stats_p);
+  Alcotest.(check bool) "metrics identical" true
+    (tele_s.Eval.Recovery_delay.metrics = tele_p.Eval.Recovery_delay.metrics);
+  Alcotest.(check bool) "events identical" true
+    (tele_s.Eval.Recovery_delay.events = tele_p.Eval.Recovery_delay.events);
+  Alcotest.(check bool) "phases identical" true
+    (tele_s.Eval.Recovery_delay.phases = tele_p.Eval.Recovery_delay.phases)
+
+let test_setup_mux_sink () =
+  let regs = ref 0 in
+  let sink = function
+    | Sim.Event.Mux { op = Sim.Event.Register; pi; psi; _ } ->
+      if pi < 0 || psi < 0 then Alcotest.fail "negative set size";
+      incr regs
+    | _ -> ()
+  in
+  let est =
+    Eval.Setup.build ~seed:42 ~backups:1 ~mux_degree:3 ~mux_sink:sink
+      Eval.Setup.Torus4
+  in
+  Alcotest.(check bool) "established" true (est.Eval.Setup.established > 0);
+  Alcotest.(check bool) "saw registrations" true (!regs > 0)
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter basics" `Quick test_counter_basics;
+          Alcotest.test_case "gauge and timer" `Quick test_gauge_and_timer;
+          Alcotest.test_case "kind conflict" `Quick test_kind_conflict_rejected;
+          Alcotest.test_case "snapshot sorted" `Quick test_snapshot_sorted;
+          Alcotest.test_case "merge = sequential" `Quick
+            test_merge_matches_sequential;
+        ] );
+      ( "codecs",
+        [
+          Alcotest.test_case "event round-trip" `Quick test_event_roundtrip;
+          Alcotest.test_case "decode rejects garbage" `Quick
+            test_event_decode_rejects_garbage;
+          Alcotest.test_case "string codecs total" `Quick
+            test_string_codecs_total;
+          Alcotest.test_case "metrics round-trip" `Quick
+            test_metrics_json_roundtrip;
+          Alcotest.test_case "exporter shapes" `Quick test_exporters_shape;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "phases collected" `Quick test_recovery_telemetry;
+          Alcotest.test_case "stats unchanged" `Quick
+            test_recovery_stats_unchanged_by_telemetry;
+          Alcotest.test_case "parallel identical" `Quick
+            test_recovery_telemetry_parallel_identical;
+          Alcotest.test_case "setup mux sink" `Quick test_setup_mux_sink;
+        ] );
+    ]
