@@ -213,6 +213,31 @@ let trace_out_arg =
            .jsonl, Chrome trace_event JSON (chrome://tracing, Perfetto) \
            otherwise.")
 
+(* Event logs go to FILE as JSONL or a Chrome trace, by file suffix. *)
+let write_trace path events =
+  let oc = open_out path in
+  if Filename.check_suffix path ".jsonl" then
+    output_string oc (Eval.Telemetry.events_to_jsonl events)
+  else begin
+    output_string oc
+      (Eval.Json.to_string ~indent:2 (Eval.Telemetry.events_to_chrome events));
+    output_char oc '\n'
+  end;
+  close_out oc;
+  Printf.printf "wrote %d events to %s\n" (List.length events) path
+
+(* Emit the phase-breakdown and metrics tables (and their JSON sections)
+   from a merged metrics snapshot — shared by every telemetry-capable
+   subcommand. *)
+let emit_metrics ctx metrics =
+  let phases = Eval.Recovery_delay.phases_of_snapshot metrics in
+  emit ctx (Eval.Recovery_delay.phases_report phases);
+  emit ctx (Eval.Telemetry.metrics_report metrics);
+  ctx.extra :=
+    ("metrics", Eval.Telemetry.metrics_to_json metrics)
+    :: ("phases", Eval.Recovery_delay.phases_to_json phases)
+    :: !(ctx.extra)
+
 let run_recovery ctx network backups seed scenarios use_metrics trace_out =
   let telemetry = use_metrics || trace_out <> None in
   if not telemetry then run_delay ctx network backups seed scenarios
@@ -229,30 +254,11 @@ let run_recovery ctx network backups seed scenarios use_metrics trace_out =
         est.Eval.Setup.ns
     in
     emit ctx (Eval.Recovery_delay.report [ stats ]);
-    if use_metrics then begin
-      emit ctx (Eval.Recovery_delay.phases_report tele.Eval.Recovery_delay.phases);
-      emit ctx (Eval.Telemetry.metrics_report tele.Eval.Recovery_delay.metrics);
-      ctx.extra :=
-        ( "metrics",
-          Eval.Telemetry.metrics_to_json tele.Eval.Recovery_delay.metrics )
-        :: ( "phases",
-             Eval.Recovery_delay.phases_to_json tele.Eval.Recovery_delay.phases )
-        :: !(ctx.extra)
-    end;
+    if use_metrics then emit_metrics ctx tele.Eval.Recovery_delay.metrics;
     match trace_out with
     | None -> ()
     | Some path ->
-      let events = List.rev !setup_events @ tele.Eval.Recovery_delay.events in
-      let oc = open_out path in
-      if Filename.check_suffix path ".jsonl" then
-        output_string oc (Eval.Telemetry.events_to_jsonl events)
-      else begin
-        output_string oc
-          (Eval.Json.to_string ~indent:2 (Eval.Telemetry.events_to_chrome events));
-        output_char oc '\n'
-      end;
-      close_out oc;
-      Printf.printf "wrote %d events to %s\n" (List.length events) path
+      write_trace path (List.rev !setup_events @ tele.Eval.Recovery_delay.events)
   end
 
 let recovery_cmd =
@@ -358,16 +364,37 @@ let baseline_cmd =
       const (fun ctx n s d -> finishing ctx (fun () -> run_baseline ctx n s d))
       $ ctx_term $ network_arg $ seed_arg $ double_sample_arg)
 
-let run_multi ctx network seed =
-  emit ctx (Eval.Multi_failure.sweep ~seed network)
+let run_multi ?(use_metrics = false) ?trace_out ctx network seed =
+  if not (use_metrics || trace_out <> None) then
+    emit ctx (Eval.Multi_failure.sweep ~seed network)
+  else begin
+    let setup_events = ref [] in
+    let mux_sink ev = setup_events := (-1, 0.0, ev) :: !setup_events in
+    let rep, tele, _ns =
+      Eval.Multi_failure.sweep_telemetry ~seed ~mux_sink network
+    in
+    emit ctx rep;
+    if use_metrics then emit_metrics ctx tele.Eval.Multi_failure.metrics;
+    match trace_out with
+    | None -> ()
+    | Some path ->
+      write_trace path (List.rev !setup_events @ tele.Eval.Multi_failure.events)
+  end
 
 let multi_cmd =
-  let doc = "Extension: R_fast under k simultaneous link failures." in
+  let doc =
+    "Extension: R_fast under k simultaneous link failures. With --metrics \
+     or --trace-out the sweep switches to the event-driven simulator \
+     (single configuration, reduced k ladder) so burst-failure traces \
+     exist for auditing."
+  in
   Cmd.v
     (Cmd.info "multi" ~doc)
     Term.(
-      const (fun ctx n s -> finishing ctx (fun () -> run_multi ctx n s))
-      $ ctx_term $ network_arg $ seed_arg)
+      const (fun ctx n s m t ->
+          finishing ctx (fun () ->
+              run_multi ~use_metrics:m ?trace_out:t ctx n s))
+      $ ctx_term $ network_arg $ seed_arg $ metrics_arg $ trace_out_arg)
 
 let detector_conv =
   let parse = function
@@ -418,30 +445,190 @@ let horizon_arg =
     & opt (some float) None
     & info [ "horizon" ] ~docv:"SEC" ~doc:"Simulated time past each fault.")
 
-let run_chaos ctx network seed scenarios detector loss gray horizon =
-  let levels =
-    match loss with
-    | None -> None
-    | Some p ->
-      Some [ Eval.Chaos.level p ~dup:(p /. 2.0) ~jitter:5e-4 ~gray_frac:gray ]
-  in
-  emit ctx
-    (Eval.Chaos.sweep ~seed ~scenario_count:scenarios ?horizon ~detector
-       ?levels network)
+let chaos_levels loss gray =
+  match loss with
+  | None -> None
+  | Some p ->
+    Some [ Eval.Chaos.level p ~dup:(p /. 2.0) ~jitter:5e-4 ~gray_frac:gray ]
+
+let run_chaos ?(use_metrics = false) ?trace_out ctx network seed scenarios
+    detector loss gray horizon =
+  let levels = chaos_levels loss gray in
+  if not (use_metrics || trace_out <> None) then
+    emit ctx
+      (Eval.Chaos.sweep ~seed ~scenario_count:scenarios ?horizon ~detector
+         ?levels network)
+  else begin
+    let setup_events = ref [] in
+    let mux_sink ev = setup_events := (-1, 0.0, ev) :: !setup_events in
+    let rep, tele, _ns =
+      Eval.Chaos.sweep_telemetry ~seed ~scenario_count:scenarios ?horizon
+        ~detector ?levels ~mux_sink network
+    in
+    emit ctx rep;
+    if use_metrics then emit_metrics ctx tele.Eval.Chaos.metrics;
+    match trace_out with
+    | None -> ()
+    | Some path ->
+      write_trace path (List.rev !setup_events @ tele.Eval.Chaos.events)
+  end
 
 let chaos_cmd =
   let doc =
     "Chaos sweep: R_fast, disruption time and RCC overhead vs control-plane \
      impairment (loss/dup/jitter/gray links), with oracle or heartbeat \
-     failure detection."
+     failure detection. --metrics and --trace-out export the typed \
+     telemetry of every simulated scenario."
   in
   Cmd.v
     (Cmd.info "chaos" ~doc)
     Term.(
-      const (fun ctx n s sc d l g h ->
-          finishing ctx (fun () -> run_chaos ctx n s sc d l g h))
+      const (fun ctx n s sc d l g h m t ->
+          finishing ctx (fun () ->
+              run_chaos ~use_metrics:m ?trace_out:t ctx n s sc d l g h))
       $ ctx_term $ network_arg $ seed_arg $ scenario_count_arg $ detector_arg
-      $ loss_arg $ gray_arg $ horizon_arg)
+      $ loss_arg $ gray_arg $ horizon_arg $ metrics_arg $ trace_out_arg)
+
+(* ---------- audit ---------- *)
+
+let filter_conv =
+  let parse s =
+    match String.index_opt s '=' with
+    | None ->
+      Error (`Msg "expected a filter of the form conn=ID, link=ID or link=A-B")
+    | Some i -> (
+      let key = String.sub s 0 i in
+      let v = String.sub s (i + 1) (String.length s - i - 1) in
+      match (key, int_of_string_opt v) with
+      | "conn", Some id -> Ok (`Conn id)
+      | "link", Some id -> Ok (`Link id)
+      | "link", None -> (
+        match String.split_on_char '-' v with
+        | [ a; b ] -> (
+          match (int_of_string_opt a, int_of_string_opt b) with
+          | Some a, Some b -> Ok (`Link_pair (a, b))
+          | _ -> Error (`Msg (Printf.sprintf "invalid link endpoints %S" v)))
+        | _ -> Error (`Msg (Printf.sprintf "invalid link filter %S" v)))
+      | "conn", None -> Error (`Msg (Printf.sprintf "invalid connection id %S" v))
+      | _ -> Error (`Msg (Printf.sprintf "unknown filter key %S" key)))
+  in
+  let print ppf = function
+    | `Conn id -> Format.fprintf ppf "conn=%d" id
+    | `Link id -> Format.fprintf ppf "link=%d" id
+    | `Link_pair (a, b) -> Format.fprintf ppf "link=%d-%d" a b
+  in
+  Arg.conv (parse, print)
+
+let filter_arg =
+  Arg.(
+    value
+    & opt_all filter_conv []
+    & info [ "filter" ] ~docv:"F"
+        ~doc:
+          "Restrict the report to one connection (conn=ID) or link \
+           (link=ID, or link=A-B for the directed links between nodes A \
+           and B of --network). Repeatable; any match keeps an entry.")
+
+let trace_in_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Replay this trace file (JSONL or Chrome trace_event, as \
+           written by --trace-out) instead of running a live sweep.")
+
+let audit_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Write the audit result to FILE (schema bcp-audit/v1).")
+
+(* Resolve link=A-B against the topology: both directed links count. *)
+let resolve_filters network filters =
+  let topo = Eval.Setup.topology_of network in
+  List.concat_map
+    (function
+      | `Conn id -> [ Eval.Audit.Conn id ]
+      | `Link id -> [ Eval.Audit.Link id ]
+      | `Link_pair (a, b) -> (
+        (* Out-of-range endpoints are "no such link", not a crash. *)
+        let find ~src ~dst =
+          try Net.Topology.find_link topo ~src ~dst
+          with Invalid_argument _ -> None
+        in
+        match (find ~src:a ~dst:b, find ~src:b ~dst:a) with
+        | None, None ->
+          Printf.eprintf "audit: no link between nodes %d and %d\n" a b;
+          exit 2
+        | l1, l2 ->
+          List.filter_map
+            (Option.map (fun l -> Eval.Audit.Link l))
+            [ l1; l2 ]))
+    filters
+
+let run_audit network seed scenarios detector loss gray trace_file filters
+    json_out jobs =
+  Sim.Pool.set_jobs jobs;
+  let filters = resolve_filters network filters in
+  let source, events, context =
+    match trace_file with
+    | Some path -> (
+      match Eval.Audit.load_trace path with
+      | Error e ->
+        Printf.eprintf "audit: cannot load %s: %s\n" path e;
+        exit 2
+      | Ok evs -> (path, evs, None))
+    | None ->
+      (* Live mode: a seeded chaos sweep (single level — clean unless
+         --loss is given) with the full network context for the
+         link-budget checks. *)
+      let setup_events = ref [] in
+      let mux_sink ev = setup_events := (-1, 0.0, ev) :: !setup_events in
+      let levels =
+        match chaos_levels loss gray with
+        | None -> Some [ Eval.Chaos.level 0.0 ]
+        | levels -> levels
+      in
+      let _rep, tele, ns =
+        Eval.Chaos.sweep_telemetry ~seed ~scenario_count:scenarios ~detector
+          ?levels ~mux_sink network
+      in
+      ( Printf.sprintf "live:%s seed=%d" (Eval.Setup.network_label network) seed,
+        List.rev !setup_events @ tele.Eval.Chaos.events,
+        Some (Eval.Audit.context_of_netstate ns) )
+  in
+  let result =
+    Eval.Audit.apply_filters filters (Eval.Audit.replay ?context events)
+  in
+  Eval.Audit.print result;
+  (match json_out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc
+      (Eval.Json.to_string ~indent:2 (Eval.Audit.to_json ~source result));
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote audit to %s\n" path);
+  if result.Eval.Audit.total_violations > 0 then exit 1
+
+let audit_cmd =
+  let doc =
+    "Protocol auditor: replay a recorded telemetry trace (--trace FILE) or \
+     run a seeded live sweep through the online invariant monitor, print \
+     the violation report and per-connection recovery timelines, and exit \
+     1 if any invariant was violated. --filter conn=ID / link=A-B \
+     restricts the report; --json writes schema bcp-audit/v1."
+  in
+  Cmd.v
+    (Cmd.info "audit" ~doc)
+    Term.(
+      const (fun n s sc d l g tr f j jobs ->
+          run_audit n s sc d l g tr f j jobs)
+      $ network_arg $ seed_arg $ scenario_count_arg $ detector_arg $ loss_arg
+      $ gray_arg $ trace_in_arg $ filter_arg $ audit_json_arg $ jobs_arg)
 
 let run_markov ctx () =
   let rows = Eval.Reliability_cmp.compute ~hops:[ 1; 2; 4; 7; 10; 14 ] () in
@@ -517,6 +704,7 @@ let () =
             multi_cmd;
             markov_cmd;
             chaos_cmd;
+            audit_cmd;
             all_cmd;
           ])
   in

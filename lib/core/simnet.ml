@@ -61,6 +61,7 @@ type t = {
   mutable hb_confirms : int;
   mutable hb_recoveries : int;
   telemetry : bool;
+  monitor : Sim.Monitor.t option;
   metrics : Sim.Metrics.t;
   mutable phases_observed : bool;
 }
@@ -80,6 +81,9 @@ let tracef t tag fmt = Sim.Trace.recordf t.trace ~time:(now t) ~tag fmt
 let emit t ev =
   if t.telemetry then begin
     Sim.Trace.record_event t.trace ~time:(now t) ev;
+    (match t.monitor with
+    | Some m -> Sim.Monitor.feed m ~time:(now t) ev
+    | None -> ());
     let c name labels = Sim.Metrics.incr (Sim.Metrics.counter t.metrics ~labels name) in
     match ev with
     | Sim.Event.Chan_transition { from_; to_; _ } ->
@@ -178,7 +182,10 @@ let add_view t conn node ~is_src =
     conn.Dconn.backups;
   Hashtbl.replace t.daemons.(node).views conn.Dconn.id v
 
-let create ?(config = Protocol.default_config) ?(telemetry = false) ns =
+let create ?(config = Protocol.default_config) ?(telemetry = false) ?monitor ns
+    =
+  (* An attached monitor needs the event stream: force telemetry on. *)
+  let telemetry = telemetry || monitor <> None in
   let topo = Netstate.topology ns in
   let n = Net.Topology.num_nodes topo in
   let m = Net.Topology.num_links topo in
@@ -205,6 +212,7 @@ let create ?(config = Protocol.default_config) ?(telemetry = false) ns =
       hb_confirms = 0;
       hb_recoveries = 0;
       telemetry;
+      monitor;
       metrics = Sim.Metrics.create ();
       phases_observed = false;
     }
@@ -1070,7 +1078,10 @@ let finalize t =
         end)
       sorted;
     Sim.Metrics.set (Sim.Metrics.gauge t.metrics "sim.finalized_at") (now t)
-  end
+  end;
+  match t.monitor with
+  | Some m -> Sim.Monitor.finish m (* idempotent end-of-stream checks *)
+  | None -> ()
 
 let records t =
   List.sort

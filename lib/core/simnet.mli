@@ -14,7 +14,12 @@
 
 type t
 
-val create : ?config:Protocol.config -> ?telemetry:bool -> Netstate.t -> t
+val create :
+  ?config:Protocol.config ->
+  ?telemetry:bool ->
+  ?monitor:Sim.Monitor.t ->
+  Netstate.t ->
+  t
 (** Build daemons and RCCs for the current state of the network.  The
     netstate is not copied: with
     [config.reconfigure_netstate = true] the simulation writes back into
@@ -27,7 +32,13 @@ val create : ?config:Protocol.config -> ?telemetry:bool -> Netstate.t -> t
     {!metrics} registry, and {!finalize} adds the per-recovery phase
     breakdown (detect/report/activate/switch timers).  When off, every
     emission site reduces to a single boolean test, so simulation
-    behaviour and all existing outputs are bit-for-bit unchanged. *)
+    behaviour and all existing outputs are bit-for-bit unchanged.
+
+    [monitor] attaches a {!Sim.Monitor.t} invariant checker to the same
+    stream (implies [~telemetry:true]): every emitted event is fed to it
+    as it happens, and {!finalize} runs its end-of-stream checks.  In
+    [~fail_fast] mode the monitor's {!Sim.Monitor.Violation} exception
+    propagates out of whichever simulation step broke the invariant. *)
 
 val engine : t -> Sim.Engine.t
 val netstate : t -> Netstate.t

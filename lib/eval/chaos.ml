@@ -50,24 +50,32 @@ let config_for detector =
       Bcp.Protocol.detector = Bcp.Protocol.Heartbeat Bcp.Detector.default_params;
     }
 
-let run ?(seed = 11) ?(scenario_count = 16) ?(horizon = 0.25)
-    ?(detector = `Oracle) ?(levels = default_levels) ns =
+type telemetry = {
+  metrics : Sim.Metrics.snapshot;
+  events : (int * float * Sim.Event.t) list;
+}
+
+let run_impl ~telemetry ~seed ~scenario_count ~horizon ~detector ~levels ns =
   let topo = Bcp.Netstate.topology ns in
   let m = Net.Topology.num_links topo in
   let rng = Sim.Prng.create seed in
   let failed_links =
     Sim.Prng.sample_without_replacement rng (min scenario_count m) m
   in
+  let nscen = List.length failed_links in
   let config = config_for detector in
   let t_fail = 0.01 in
-  List.mapi
-    (fun li lvl ->
+  let merged = if telemetry then Some (Sim.Metrics.create ()) else None in
+  let all_events = ref [] in
+  let outcomes =
+    List.mapi
+      (fun li lvl ->
       (* Every scenario is seeded from (seed, level, scenario index), so
          the per-scenario simulations are independent and run on the
          domain pool; the observations are merged in scenario order,
          keeping the sweep byte-identical to a sequential run. *)
       let observe (si, l) =
-        let sim = Bcp.Simnet.create ~config ns in
+        let sim = Bcp.Simnet.create ~config ~telemetry ns in
         let profile =
           Failures.Impair.make ~loss:lvl.loss ~dup:lvl.dup ~jitter:lvl.jitter
             ()
@@ -104,26 +112,42 @@ let run ?(seed = 11) ?(scenario_count = 16) ?(horizon = 0.25)
               | _ -> ()
             end)
           (Bcp.Simnet.records sim);
+        let tele =
+          if telemetry then
+            Some (Bcp.Simnet.metrics sim, Sim.Trace.events (Bcp.Simnet.trace sim))
+          else None
+        in
         ( !obs_affected,
           List.rev !obs_disruptions,
           Bcp.Simnet.rcc_messages_sent sim,
           Bcp.Simnet.rcc_messages_dropped sim,
           Bcp.Simnet.heartbeat_confirms sim,
-          Bcp.Simnet.heartbeat_recoveries sim )
+          Bcp.Simnet.heartbeat_recoveries sim,
+          tele )
       in
       let affected = ref 0 and recovered = ref 0 in
       let rcc_sent = ref 0 and rcc_dropped = ref 0 in
       let hb_confirms = ref 0 and hb_recoveries = ref 0 in
       let disruptions = Sim.Stats.Sample.create () in
-      List.iter
-        (fun (aff, disr, sent, dropped, confirms, recoveries) ->
+      List.iteri
+        (fun si (aff, disr, sent, dropped, confirms, recoveries, tele) ->
           affected := !affected + aff;
           recovered := !recovered + List.length disr;
           List.iter (Sim.Stats.Sample.add disruptions) disr;
           rcc_sent := !rcc_sent + sent;
           rcc_dropped := !rcc_dropped + dropped;
           hb_confirms := !hb_confirms + confirms;
-          hb_recoveries := !hb_recoveries + recoveries)
+          hb_recoveries := !hb_recoveries + recoveries;
+          match (tele, merged) with
+          | Some (m, evs), Some into ->
+            Sim.Metrics.merge_into ~into m;
+            (* Global scenario tag: levels are disjoint runs, so number
+               them level-major to keep exported streams per-run. *)
+            let tag = (li * nscen) + si in
+            List.iter
+              (fun (time, ev) -> all_events := (tag, time, ev) :: !all_events)
+              evs
+          | _ -> ())
         (Sim.Pool.map observe
            (List.mapi (fun si l -> (si, l)) failed_links));
       {
@@ -143,7 +167,29 @@ let run ?(seed = 11) ?(scenario_count = 16) ?(horizon = 0.25)
         hb_confirms = !hb_confirms;
         hb_recoveries = !hb_recoveries;
       })
-    levels
+      levels
+  in
+  let tele =
+    Option.map
+      (fun m ->
+        { metrics = Sim.Metrics.snapshot m; events = List.rev !all_events })
+      merged
+  in
+  (outcomes, tele)
+
+let run ?(seed = 11) ?(scenario_count = 16) ?(horizon = 0.25)
+    ?(detector = `Oracle) ?(levels = default_levels) ns =
+  fst
+    (run_impl ~telemetry:false ~seed ~scenario_count ~horizon ~detector ~levels
+       ns)
+
+let run_telemetry ?(seed = 11) ?(scenario_count = 16) ?(horizon = 0.25)
+    ?(detector = `Oracle) ?(levels = default_levels) ns =
+  match
+    run_impl ~telemetry:true ~seed ~scenario_count ~horizon ~detector ~levels ns
+  with
+  | outcomes, Some tele -> (outcomes, tele)
+  | _, None -> assert false
 
 let detector_label = function
   | `Oracle -> "oracle detector"
@@ -198,3 +244,18 @@ let sweep ?(seed = 11) ?(backups = 1) ?(mux_degree = 3) ?scenario_count ?horizon
          (Setup.network_label network)
          (detector_label detector))
     outcomes
+
+let sweep_telemetry ?(seed = 11) ?(backups = 1) ?(mux_degree = 3)
+    ?scenario_count ?horizon ?(detector = `Oracle) ?levels ?mux_sink network =
+  let est = Setup.build ~seed ~backups ~mux_degree ?mux_sink network in
+  let outcomes, tele =
+    run_telemetry ~seed ?scenario_count ?horizon ~detector ?levels est.Setup.ns
+  in
+  ( report
+      ~title:
+        (Printf.sprintf "Chaos sweep (%s, %s)"
+           (Setup.network_label network)
+           (detector_label detector))
+      outcomes,
+    tele,
+    est.Setup.ns )

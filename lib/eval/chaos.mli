@@ -54,6 +54,45 @@ val run :
 
 val report : ?title:string -> outcome list -> Report.t
 
+(** {2 Telemetry} *)
+
+type telemetry = {
+  metrics : Sim.Metrics.snapshot;
+      (** merged across all levels and scenarios, in sweep order *)
+  events : (int * float * Sim.Event.t) list;
+      (** (global scenario tag, sim time, event); the tag is
+          level-major: [level_index * scenario_count + scenario_index],
+          so every simulated run keeps a distinct stream *)
+}
+
+val run_telemetry :
+  ?seed:int ->
+  ?scenario_count:int ->
+  ?horizon:float ->
+  ?detector:[ `Oracle | `Heartbeat ] ->
+  ?levels:level list ->
+  Bcp.Netstate.t ->
+  outcome list * telemetry
+(** {!run} with per-scenario typed telemetry on.  The outcomes are
+    identical to {!run}'s (instrumentation is passive) and the telemetry
+    is byte-identical under any {!Sim.Pool.set_jobs} setting. *)
+
+val sweep_telemetry :
+  ?seed:int ->
+  ?backups:int ->
+  ?mux_degree:int ->
+  ?scenario_count:int ->
+  ?horizon:float ->
+  ?detector:[ `Oracle | `Heartbeat ] ->
+  ?levels:level list ->
+  ?mux_sink:(Sim.Event.t -> unit) ->
+  Setup.network ->
+  Report.t * telemetry * Bcp.Netstate.t
+(** {!sweep} with telemetry: also returns the established netstate so
+    callers can derive a {!Sim.Monitor.context} for auditing.
+    [mux_sink] observes establishment-time multiplexing updates (see
+    {!Setup.build}). *)
+
 val sweep :
   ?seed:int ->
   ?backups:int ->

@@ -76,3 +76,87 @@ let sweep ?(seed = 42) ?(ks = [ 1; 2; 3; 4; 5; 6; 7; 8 ])
       Report.add_row report ~label:(Printf.sprintf "k = %d" k) ~cells)
     ks;
   report
+
+(* ---------- event-driven telemetry variant ---------- *)
+
+type telemetry = {
+  metrics : Sim.Metrics.snapshot;
+  events : (int * float * Sim.Event.t) list;
+}
+
+(* The analytic [Bcp.Recovery.simulate] path above has no event stream;
+   when telemetry is requested the k-failure sweep runs the event-driven
+   protocol simulator instead (one configuration, reduced defaults), so
+   audited traces exist for burst failures too. *)
+let sweep_telemetry ?(seed = 42) ?(ks = [ 1; 2; 4 ]) ?(scenarios_per_k = 8)
+    ?(backups = 1) ?(mux_degree = 3) ?mux_sink network =
+  let est = Setup.build ~seed ~backups ~mux_degree ?mux_sink network in
+  let ns = est.Setup.ns in
+  let topo = Bcp.Netstate.topology ns in
+  let report =
+    Report.make
+      ~title:
+        (Printf.sprintf
+           "R_fast under k simultaneous link failures (event-driven, b=%d \
+            mux=%d, %d scenarios per k) — %s"
+           backups mux_degree scenarios_per_k
+           (Setup.network_label network))
+      ~columns:[ "affected"; "recovered"; "R_fast" ]
+  in
+  let merged = Sim.Metrics.create () in
+  let all_events = ref [] in
+  let t_fail = 0.01 in
+  let scen_base = ref 0 in
+  List.iter
+    (fun k ->
+      let rng = Sim.Prng.create (seed + (1000 * k)) in
+      let scenarios = ref [] in
+      for _ = 1 to scenarios_per_k do
+        scenarios := Failures.Scenario.random_links rng topo ~count:k :: !scenarios
+      done;
+      let observe sc =
+        let sim = Bcp.Simnet.create ~telemetry:true ns in
+        Bcp.Simnet.inject sim ~at:t_fail sc;
+        Bcp.Simnet.run ~until:(t_fail +. 0.25) sim;
+        Bcp.Simnet.finalize sim;
+        let affected = ref 0 and recovered = ref 0 in
+        List.iter
+          (fun r ->
+            if not r.Bcp.Simnet.excluded then begin
+              incr affected;
+              match (r.Bcp.Simnet.resumed_at, r.Bcp.Simnet.recovered_serial) with
+              | Some _, Some _ -> incr recovered
+              | _ -> ()
+            end)
+          (Bcp.Simnet.records sim);
+        ( !affected,
+          !recovered,
+          Bcp.Simnet.metrics sim,
+          Sim.Trace.events (Bcp.Simnet.trace sim) )
+      in
+      let affected = ref 0 and recovered = ref 0 in
+      List.iteri
+        (fun si (aff, rec_, m, evs) ->
+          affected := !affected + aff;
+          recovered := !recovered + rec_;
+          Sim.Metrics.merge_into ~into:merged m;
+          List.iter
+            (fun (time, ev) ->
+              all_events := (!scen_base + si, time, ev) :: !all_events)
+            evs)
+        (Sim.Pool.map observe (List.rev !scenarios));
+      scen_base := !scen_base + scenarios_per_k;
+      Report.add_row report
+        ~label:(Printf.sprintf "k = %d" k)
+        ~cells:
+          [
+            string_of_int !affected;
+            string_of_int !recovered;
+            Report.pct
+              (if !affected = 0 then 100.0
+               else Sim.Stats.ratio !recovered !affected);
+          ])
+    ks;
+  ( report,
+    { metrics = Sim.Metrics.snapshot merged; events = List.rev !all_events },
+    ns )

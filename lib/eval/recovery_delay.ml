@@ -59,6 +59,14 @@ let phase_of snapshot name =
     }
   | _ -> { samples = 0; p50 = 0.0; p95 = 0.0; max = 0.0 }
 
+let phases_of_snapshot snapshot =
+  {
+    detect = phase_of snapshot "phase.detect";
+    report = phase_of snapshot "phase.report";
+    activate = phase_of snapshot "phase.activate";
+    switch = phase_of snapshot "phase.switch";
+  }
+
 let measure_impl ~telemetry ~config ~seed ~scenario_count ~node_failures ns =
   let topo = Bcp.Netstate.topology ns in
   let rng = Sim.Prng.create seed in
@@ -165,13 +173,7 @@ let measure_impl ~telemetry ~config ~seed ~scenario_count ~node_failures ns =
       let snapshot = Sim.Metrics.snapshot merged in
       Some
         {
-          phases =
-            {
-              detect = phase_of snapshot "phase.detect";
-              report = phase_of snapshot "phase.report";
-              activate = phase_of snapshot "phase.activate";
-              switch = phase_of snapshot "phase.switch";
-            };
+          phases = phases_of_snapshot snapshot;
           metrics = snapshot;
           events = List.rev !tagged_events;
         }

@@ -56,6 +56,11 @@ type phases = {
   switch : phase_stats;
 }
 
+val phases_of_snapshot : Sim.Metrics.snapshot -> phases
+(** Extract the phase breakdown from any metrics snapshot carrying the
+    [phase.*] timers (all-zero rows for missing timers) — usable on
+    snapshots merged by other sweeps (chaos, multi-failure) too. *)
+
 type telemetry = {
   phases : phases;
   metrics : Sim.Metrics.snapshot;

@@ -176,6 +176,48 @@ let events_to_jsonl events =
     events;
   Buffer.contents buf
 
+(* ---------- event-log importers ---------- *)
+
+let tagged_of_json j =
+  let* scenario = int_field "scenario" j in
+  let* time = float_field "time" j in
+  let* ev = event_of_json j in
+  Ok (scenario, time, ev)
+
+let events_of_jsonl s =
+  let rec go n acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+      if String.trim line = "" then go (n + 1) acc rest
+      else
+        match Json.of_string line with
+        | Error e -> Error (Printf.sprintf "line %d: %s" n e)
+        | Ok j -> (
+          match tagged_of_json j with
+          | Error e -> Error (Printf.sprintf "line %d: %s" n e)
+          | Ok ev -> go (n + 1) (ev :: acc) rest))
+  in
+  go 1 [] (String.split_on_char '\n' s)
+
+let events_of_chrome j =
+  match Json.member "traceEvents" j with
+  | Some (Json.List items) ->
+    List.fold_left
+      (fun acc item ->
+        let* acc = acc in
+        let* scenario = int_field "pid" item in
+        let* ts = float_field "ts" item in
+        let* ev =
+          match Json.member "args" item with
+          | None -> Error "missing field \"args\""
+          | Some a -> event_of_json a
+        in
+        Ok ((scenario, ts /. 1e6, ev) :: acc))
+      (Ok []) items
+    |> Result.map List.rev
+  | Some _ -> Error "field \"traceEvents\" is not an array"
+  | None -> Error "missing field \"traceEvents\""
+
 (* The event's "home" thread in the Chrome view: the acting node where
    there is one, otherwise the link (or component) id. *)
 let event_tid = function

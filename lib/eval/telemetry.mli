@@ -22,6 +22,14 @@ val events_to_chrome : (int * float * Sim.Event.t) list -> Json.t
     instant events, [ts] in microseconds, [pid] = scenario index,
     [tid] = acting node (or link / connection) id. *)
 
+val events_of_jsonl : string -> ((int * float * Sim.Event.t) list, string) result
+(** Inverse of {!events_to_jsonl} (blank lines skipped; errors name the
+    offending line). *)
+
+val events_of_chrome : Json.t -> ((int * float * Sim.Event.t) list, string) result
+(** Inverse of {!events_to_chrome}: rebuilds each event from its [args]
+    member, [pid] and [ts]. *)
+
 val metrics_to_json : Sim.Metrics.snapshot -> Json.t
 (** Array of [{"name", "labels", "kind", "value"}] objects; timer values
     carry the full histogram. *)

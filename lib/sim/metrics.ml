@@ -139,5 +139,8 @@ let merge_into ~into src =
           timer into ~labels:k.labels ~lo ~hi
             ~bins:(Array.length edges - 1) k.name
         in
-        Array.iter (fun v -> observe dst v) (Stats.Sample.to_array tm.sample))
+        (* One blit + one counts-add instead of re-observing every sample
+           (which re-sorted and re-binned the whole series per merge). *)
+        Stats.Sample.append ~into:dst.sample tm.sample;
+        Stats.Histogram.merge_into ~into:dst.hist tm.hist)
     (List.sort (fun (a, _) (b, _) -> compare_key a b) src.entries)

@@ -101,6 +101,20 @@ module Sample = struct
   let min t =
     if t.size = 0 then invalid_arg "Stats.Sample.min: empty sample";
     (to_array t).(0)
+
+  let append ~into src =
+    let need = into.size + src.size in
+    if need > Array.length into.data then begin
+      let ncap = ref (Stdlib.max 16 (Array.length into.data)) in
+      while !ncap < need do
+        ncap := !ncap * 2
+      done;
+      let ndata = Array.make !ncap 0.0 in
+      Array.blit into.data 0 ndata 0 into.size;
+      into.data <- ndata
+    end;
+    Array.blit src.data 0 into.data into.size src.size;
+    into.size <- need
 end
 
 module Histogram = struct
@@ -122,6 +136,16 @@ module Histogram = struct
 
   let counts t = Array.copy t.counts
   let total t = t.total
+
+  let merge_into ~into src =
+    if
+      into.lo <> src.lo || into.hi <> src.hi
+      || Array.length into.counts <> Array.length src.counts
+    then invalid_arg "Stats.Histogram.merge_into: shape mismatch";
+    Array.iteri
+      (fun i c -> into.counts.(i) <- into.counts.(i) + c)
+      src.counts;
+    into.total <- into.total + src.total
 
   let bin_edges t =
     let bins = Array.length t.counts in

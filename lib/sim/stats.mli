@@ -41,6 +41,10 @@ module Sample : sig
   val min : t -> float
   val to_array : t -> float array
   (** Sorted copy of the samples. *)
+
+  val append : into:t -> t -> unit
+  (** Append [src]'s samples to [into] in their original insertion order
+      (one array blit — no sorting, no per-sample work). *)
 end
 
 (** Fixed-bin histogram. *)
@@ -55,6 +59,10 @@ module Histogram : sig
   val total : t -> int
   val bin_edges : t -> float array
   (** [bins + 1] edges. *)
+
+  val merge_into : into:t -> t -> unit
+  (** Add [src]'s bucket counts into [into].
+      @raise Invalid_argument unless both histograms share lo/hi/bins. *)
 end
 
 val mean_of_list : float list -> float

@@ -5,6 +5,9 @@ type t = {
   buf : entry option array;
   mutable next : int; (* next write slot *)
   mutable total : int;
+  index : (string, int Queue.t) Hashtbl.t;
+      (* tag -> live sequence numbers, oldest first; seq [mod] capacity is
+         the ring slot, so eviction pops exactly the queue head *)
   mutable events_on : bool;
   mutable events : (float * Event.t) array; (* typed events, grows on demand *)
   mutable nevents : int;
@@ -20,13 +23,31 @@ let create ?(capacity = 65536) () =
     buf = Array.make capacity None;
     next = 0;
     total = 0;
+    index = Hashtbl.create 32;
     events_on = false;
     events = [||];
     nevents = 0;
   }
 
 let record t ~time ~tag detail =
+  (* Overwriting a full ring evicts the globally oldest entry, which is
+     also the oldest of its own tag — drop it from the index head. *)
+  (match t.buf.(t.next) with
+  | Some old -> (
+    match Hashtbl.find_opt t.index old.tag with
+    | Some q -> ignore (Queue.pop q)
+    | None -> ())
+  | None -> ());
   t.buf.(t.next) <- Some { time; tag; detail };
+  (let q =
+     match Hashtbl.find_opt t.index tag with
+     | Some q -> q
+     | None ->
+       let q = Queue.create () in
+       Hashtbl.replace t.index tag q;
+       q
+   in
+   Queue.push t.total q);
   t.next <- (t.next + 1) mod t.capacity;
   t.total <- t.total + 1
 
@@ -47,7 +68,17 @@ let entries t =
 
 let count t = t.total
 
-let find_all t ~tag = List.filter (fun e -> String.equal e.tag tag) (entries t)
+let find_all t ~tag =
+  match Hashtbl.find_opt t.index tag with
+  | None -> []
+  | Some q ->
+    List.rev
+      (Queue.fold
+         (fun acc seq ->
+           match t.buf.(seq mod t.capacity) with
+           | Some e -> e :: acc
+           | None -> acc)
+         [] q)
 
 (* ---------- typed events ---------- *)
 
@@ -75,6 +106,7 @@ let clear t =
   Array.fill t.buf 0 t.capacity None;
   t.next <- 0;
   t.total <- 0;
+  Hashtbl.reset t.index;
   t.events <- [||];
   t.nevents <- 0
 

@@ -31,8 +31,9 @@ val count : t -> int
 (** Number of entries recorded since creation (including dropped ones). *)
 
 val find_all : t -> tag:string -> entry list
-(** Linear scan: O(min (count, capacity)) per call — fine for tests and
-    post-mortems, not for per-event hot paths. *)
+(** O(matches) via a per-tag secondary index maintained on {!record};
+    iteration order is stable (oldest first, same relative order as
+    {!entries}).  Entries evicted from the ring leave the index too. *)
 
 val clear : t -> unit
 (** Drops the string ring {e and} the typed-event buffer (the

@@ -292,6 +292,37 @@ let test_trace_ring_overflow () =
   Alcotest.(check string) "oldest dropped" "7" (List.hd entries).Sim.Trace.detail;
   Alcotest.(check int) "total counts all" 10 (Sim.Trace.count t)
 
+let test_trace_tag_index () =
+  (* find_all must agree with a linear scan over the live entries (same
+     entries, same oldest-first order), including across ring eviction
+     and after clear. *)
+  let t = Sim.Trace.create ~capacity:8 () in
+  let tags = [| "alpha"; "beta"; "gamma" |] in
+  for i = 0 to 29 do
+    Sim.Trace.record t ~time:(float_of_int i) ~tag:tags.(i mod 3)
+      (string_of_int i)
+  done;
+  Array.iter
+    (fun tag ->
+      let scanned =
+        List.filter (fun e -> e.Sim.Trace.tag = tag) (Sim.Trace.entries t)
+      in
+      Alcotest.(check (list string))
+        ("indexed = scanned for " ^ tag)
+        (List.map (fun e -> e.Sim.Trace.detail) scanned)
+        (List.map
+           (fun e -> e.Sim.Trace.detail)
+           (Sim.Trace.find_all t ~tag)))
+    tags;
+  Alcotest.(check int) "absent tag" 0
+    (List.length (Sim.Trace.find_all t ~tag:"delta"));
+  Sim.Trace.clear t;
+  Alcotest.(check int) "index cleared" 0
+    (List.length (Sim.Trace.find_all t ~tag:"alpha"));
+  Sim.Trace.record t ~time:0.0 ~tag:"alpha" "fresh";
+  Alcotest.(check int) "index live after clear" 1
+    (List.length (Sim.Trace.find_all t ~tag:"alpha"))
+
 let test_trace_clear () =
   let t = Sim.Trace.create () in
   Sim.Trace.record t ~time:0.0 ~tag:"x" "y";
@@ -407,6 +438,7 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_trace_roundtrip;
           Alcotest.test_case "ring overflow" `Quick test_trace_ring_overflow;
+          Alcotest.test_case "tag index" `Quick test_trace_tag_index;
           Alcotest.test_case "clear" `Quick test_trace_clear;
           Alcotest.test_case "create rejects capacity <= 0" `Quick
             test_trace_create_rejects_nonpositive;
