@@ -186,6 +186,133 @@ let part2 () =
       Eval.Reliability_cmp.report
         (Eval.Reliability_cmp.compute ~hops:[ 1; 2; 4; 7; 10; 14 ] ()))
 
+(* ------------- Scaling suite: 4x4 -> 8x8 -> 16x16 at fixed load ------- *)
+
+(* Wall-clock ns/op of a thunk, growing the repetition count until the
+   sample is long enough to trust.  Used for the per-tier mux kernels —
+   Bechamel stays the harness for the --micro suite, but here one
+   gettimeofday loop per (tier, kernel) keeps the scaling run cheap. *)
+let time_ns_per_op f =
+  f ();
+  (* warm-up *)
+  let rec run reps =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < 0.05 && reps < 1_000_000 then run (reps * 4)
+    else dt *. 1e9 /. float_of_int reps
+  in
+  run 16
+
+let scaling_tiers =
+  [
+    ("4x4 torus", Eval.Setup.Torus4);
+    ("8x8 torus", Eval.Setup.Torus8);
+    ("16x16 torus", Eval.Setup.Torus16);
+  ]
+
+(* The link carrying the most backups, and a synthetic candidate whose
+   primary is the first registered backup's — the worst-case admission
+   probe for this loaded network. *)
+let busiest_link_candidate ns =
+  let mux = Bcp.Netstate.mux ns in
+  let topo = Bcp.Netstate.topology ns in
+  let busiest = ref 0 in
+  for l = 1 to Net.Topology.num_links topo - 1 do
+    if Bcp.Mux.count_on mux ~link:l > Bcp.Mux.count_on mux ~link:!busiest then
+      busiest := l
+  done;
+  match Bcp.Mux.on_link mux ~link:!busiest with
+  | [] -> None
+  | i0 :: _ ->
+    Some (!busiest, { i0 with Bcp.Mux.backup = max_int / 2; conn = max_int / 2 })
+
+let scaling () =
+  let seed = !seed in
+  hr "SCALING: establishment at fixed per-node load (8 req/node, mux=3)";
+  let runs =
+    Sim.Pool.map
+      (fun (label, net) ->
+        let t0 = Unix.gettimeofday () in
+        let est = Eval.Setup.build_scaled ~seed ~backups:1 ~mux_degree:3 net in
+        let dt = Unix.gettimeofday () -. t0 in
+        (label, net, est, dt))
+      scaling_tiers
+  in
+  table (fun () ->
+      let r =
+        Eval.Report.make
+          ~title:
+            "Scaling: establishment at fixed per-node load (8 req/node, 1 \
+             backup, mux degree 3)"
+          ~columns:
+            [ "requests"; "established"; "rejected"; "load"; "spare"; "mux entries" ]
+      in
+      List.iter
+        (fun (label, net, est, _) ->
+          let ns = est.Eval.Setup.ns in
+          let mux = Bcp.Netstate.mux ns in
+          let topo = Bcp.Netstate.topology ns in
+          let entries = ref 0 in
+          for l = 0 to Net.Topology.num_links topo - 1 do
+            entries := !entries + Bcp.Mux.count_on mux ~link:l
+          done;
+          let rows, cols = Eval.Setup.dims net in
+          Eval.Report.add_row r ~label
+            ~cells:
+              [
+                string_of_int (8 * rows * cols);
+                string_of_int est.Eval.Setup.established;
+                string_of_int est.Eval.Setup.rejected;
+                Eval.Report.pct est.Eval.Setup.load;
+                Eval.Report.pct est.Eval.Setup.spare;
+                string_of_int !entries;
+              ])
+        runs;
+      r);
+  (* Wall-clock lines are prefixed "timing:" so CI's serial/parallel
+     byte-identity diff can filter them; the values also land in the JSON
+     "timings" section (dropped with --omit-timings). *)
+  List.iter
+    (fun (label, _, est, dt) ->
+      let attempts =
+        est.Eval.Setup.established + est.Eval.Setup.rejected
+      in
+      let throughput = float_of_int attempts /. dt in
+      Printf.printf "timing: %-12s establishment %6.2f s  (%7.0f conns/s)\n"
+        label dt throughput;
+      kernel_timings :=
+        ( Printf.sprintf "scaling establish %s (ns/conn)" label,
+          dt *. 1e9 /. float_of_int attempts )
+        :: !kernel_timings;
+      let ns = est.Eval.Setup.ns in
+      match busiest_link_candidate ns with
+      | None -> ()
+      | Some (link, candidate) ->
+        let mux = Bcp.Netstate.mux ns in
+        let on = Bcp.Mux.count_on mux ~link in
+        let rw_ns =
+          time_ns_per_op (fun () ->
+              ignore (Bcp.Mux.required_with mux ~link candidate))
+        in
+        let reg_ns =
+          time_ns_per_op (fun () ->
+              Bcp.Mux.register mux ~link candidate;
+              Bcp.Mux.unregister mux ~link ~backup:candidate.Bcp.Mux.backup)
+        in
+        Printf.printf
+          "timing: %-12s mux kernels on busiest link (%d backups): \
+           required_with %8.0f ns/op, register+unregister %8.0f ns/op\n"
+          label on rw_ns reg_ns;
+        kernel_timings :=
+          (Printf.sprintf "scaling mux required_with %s (ns/op)" label, rw_ns)
+          :: (Printf.sprintf "scaling mux register+unregister %s (ns/op)" label,
+              reg_ns)
+          :: !kernel_timings)
+    runs
+
 (* ------------- Bechamel micro-benchmarks (--micro) ------------- *)
 
 open Bechamel
@@ -268,28 +395,75 @@ let bench_markov_kernel () =
     (Staged.stage (fun () ->
          ignore (Eval.Reliability_cmp.compute ~hops:[ 1; 4; 10 ] ())))
 
-let bench_mux_register () =
-  let topo = small_net () in
-  let mux = Bcp.Mux.create topo ~lambda:1e-4 in
-  let mk i =
-    let comps =
-      Array.init 9 (fun k -> (2 * ((i + (k * 7)) mod 200)) + (k land 1))
-    in
-    Array.sort Int.compare comps;
-    {
-      Bcp.Mux.backup = i;
-      conn = i;
-      serial = 1;
-      nu = 3e-4;
-      bw = 1.0;
-      primary_components = comps;
-    }
+(* Synthetic backup population for the mux kernels: 9-component primaries
+   drawn from a 400-slot encoded universe, so candidates overlap a
+   realistic fraction of the table. *)
+let mux_kernel_info i =
+  let comps =
+    Array.init 9 (fun k -> (2 * ((i + (k * 7)) mod 200)) + (k land 1))
   in
+  let comps =
+    Array.of_list (List.sort_uniq Int.compare (Array.to_list comps))
+  in
+  {
+    Bcp.Mux.backup = i;
+    conn = i;
+    serial = 1;
+    nu = 3e-4;
+    bw = 1.0;
+    primary_components = comps;
+  }
+
+let loaded_mux () =
+  let mux = Bcp.Mux.create (small_net ()) ~lambda:1e-4 in
   for i = 0 to 199 do
-    Bcp.Mux.register mux ~link:0 (mk i)
+    Bcp.Mux.register mux ~link:0 (mux_kernel_info i)
   done;
+  mux
+
+let bench_mux_required_with () =
+  let mux = loaded_mux () in
+  let candidate = mux_kernel_info 9999 in
   Test.make ~name:"mux required_with (200 backups on link)"
-    (Staged.stage (fun () -> ignore (Bcp.Mux.required_with mux ~link:0 (mk 9999))))
+    (Staged.stage (fun () ->
+         ignore (Bcp.Mux.required_with mux ~link:0 candidate)))
+
+let bench_mux_register () =
+  let mux = loaded_mux () in
+  let candidate = mux_kernel_info 9999 in
+  Test.make ~name:"mux register+unregister (200 backups on link)"
+    (Staged.stage (fun () ->
+         Bcp.Mux.register mux ~link:0 candidate;
+         Bcp.Mux.unregister mux ~link:0 ~backup:9999))
+
+(* 33 components ≈ a 16-hop primary: the shared_count kernels compare the
+   sorted-array merge with the bitset AND+popcount on identical inputs. *)
+let shared_kernel_arrays () =
+  let mk off =
+    Array.init 33 (fun k -> off + (2 * k * 3))
+  in
+  (mk 0, mk 24)
+
+(* 32 counts per run: the single-op cost (~50-300 ns) sits below the
+   harness measurement floor, so batching is what makes the merge/bitset
+   gap visible in the ns/run estimates. *)
+let bench_shared_count_sorted () =
+  let a, b = shared_kernel_arrays () in
+  Test.make ~name:"shared_count sorted-array merge (33 comps, x32)"
+    (Staged.stage (fun () ->
+         for _ = 1 to 32 do
+           ignore (Bcp.Mux.shared_count a b)
+         done))
+
+let bench_shared_count_bitset () =
+  let a, b = shared_kernel_arrays () in
+  let ba = Option.get (Bcp.Mux.bitset_of_components a) in
+  let bb = Option.get (Bcp.Mux.bitset_of_components b) in
+  Test.make ~name:"shared_count bitset popcount (33 comps, x32)"
+    (Staged.stage (fun () ->
+         for _ = 1 to 32 do
+           ignore (Bcp.Mux.shared_count_bitset ba bb)
+         done))
 
 let bench_dijkstra () =
   let topo = Net.Builders.torus ~rows:8 ~cols:8 ~capacity:200.0 in
@@ -314,7 +488,10 @@ let benchmarks () =
     bench_table3_kernel ();
     bench_delay_kernel ();
     bench_markov_kernel ();
+    bench_mux_required_with ();
     bench_mux_register ();
+    bench_shared_count_sorted ();
+    bench_shared_count_bitset ();
     bench_dijkstra ();
     bench_engine ();
   ]
@@ -390,15 +567,19 @@ let write_json ~path ~suite ~omit_timings ~total_wall =
 let () =
   let part1_only = ref false in
   let part2_only = ref false in
+  let scaling_only = ref false in
   let micro = ref false in
   let json_path = ref None in
   let omit_timings = ref false in
   let jobs = ref 1 in
-  let usage = "bench [--part1-only|--part2-only] [--jobs N] [--json FILE] [--omit-timings] [--micro] [--seed N]" in
+  let usage = "bench [--part1-only|--part2-only|--scaling-only] [--jobs N] [--json FILE] [--omit-timings] [--micro] [--seed N]" in
   let spec =
     [
       ("--part1-only", Arg.Set part1_only, " Run only the full-scale 8x8 suite");
       ("--part2-only", Arg.Set part2_only, " Run only the reduced 4x4 suite");
+      ( "--scaling-only",
+        Arg.Set scaling_only,
+        " Run only the 4x4 -> 8x8 -> 16x16 scaling suite" );
       ("--jobs", Arg.Set_int jobs, "N Domains for scenario sweeps (default 1)");
       ( "--json",
         Arg.String (fun s -> json_path := Some s),
@@ -424,12 +605,19 @@ let () =
     print_string msg;
     exit 0);
   if !jobs < 1 then die (Printf.sprintf "--jobs must be >= 1 (got %d)" !jobs);
-  if !part1_only && !part2_only then
-    die "--part1-only and --part2-only are mutually exclusive";
+  if
+    (if !part1_only then 1 else 0)
+    + (if !part2_only then 1 else 0)
+    + (if !scaling_only then 1 else 0)
+    > 1
+  then die "--part1-only, --part2-only and --scaling-only are mutually exclusive";
   Sim.Pool.set_jobs !jobs;
   let t0 = Unix.gettimeofday () in
-  if not !part2_only then part1 ();
-  if not !part1_only then part2 ();
+  if not (!part2_only || !scaling_only) then part1 ();
+  if not (!part1_only || !scaling_only) then part2 ();
+  (* The scaling tier runs in the full suite and under --scaling-only; the
+     part-1/part-2 selections stay exactly the historical suites. *)
+  if !scaling_only || not (!part1_only || !part2_only) then scaling ();
   if !micro then begin
     hr "MICRO-BENCHMARKS (Bechamel, reduced-scale kernels)";
     run_bechamel ()
@@ -442,6 +630,7 @@ let () =
     let suite =
       if !part1_only then "part1"
       else if !part2_only then "part2"
+      else if !scaling_only then "scaling"
       else "full"
     in
     write_json ~path ~suite ~omit_timings:!omit_timings ~total_wall)

@@ -9,8 +9,13 @@ let network_conv =
     | "mesh" -> Ok Eval.Setup.Mesh8
     | "torus4" -> Ok Eval.Setup.Torus4
     | "mesh4" -> Ok Eval.Setup.Mesh4
+    | "torus16" -> Ok Eval.Setup.Torus16
+    | "mesh16" -> Ok Eval.Setup.Mesh16
     | s ->
-      Error (`Msg (Printf.sprintf "unknown network %S (torus|mesh|torus4|mesh4)" s))
+      Error
+        (`Msg
+          (Printf.sprintf
+             "unknown network %S (torus|mesh|torus4|mesh4|torus16|mesh16)" s))
   in
   let print ppf n =
     Format.pp_print_string ppf
@@ -18,7 +23,9 @@ let network_conv =
       | Eval.Setup.Torus8 -> "torus"
       | Eval.Setup.Mesh8 -> "mesh"
       | Eval.Setup.Torus4 -> "torus4"
-      | Eval.Setup.Mesh4 -> "mesh4")
+      | Eval.Setup.Mesh4 -> "mesh4"
+      | Eval.Setup.Torus16 -> "torus16"
+      | Eval.Setup.Mesh16 -> "mesh16")
   in
   Arg.conv (parse, print)
 
@@ -27,7 +34,9 @@ let network_arg =
     value
     & opt network_conv Eval.Setup.Torus8
     & info [ "network"; "n" ] ~docv:"NET"
-        ~doc:"Network: torus or mesh (8x8), torus4 or mesh4 (reduced 4x4).")
+        ~doc:
+          "Network: torus or mesh (8x8), torus4 or mesh4 (reduced 4x4), \
+           torus16 or mesh16 (large-network scaling tier).")
 
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")

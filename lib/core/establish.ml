@@ -44,6 +44,10 @@ let route_backup ?tie_break ?(strategy = Min_hops)
     }
   in
   let info = candidate_info () in
+  (* One admission probe per candidate: every link's conflict prefilter
+     (bitset overlap + S-values against the link's table) runs once per
+     candidate, however many times the routing search relaxes the link. *)
+  let probe = Netstate.admission_probe ns info in
   (* The QoS hop budget is relative to the shortest path available *to
      this channel*: disjoint from the connection's other channels and
      clear of failed components (Section 7: "not longer than the
@@ -76,7 +80,7 @@ let route_backup ?tie_break ?(strategy = Min_hops)
          (Net.Component.Set.mem
             (Net.Component.Link l.Net.Topology.id)
             avoid_components))
-      && Netstate.backup_admissible ns ~link:l.Net.Topology.id info
+      && Netstate.backup_admissible_probe ns probe ~link:l.Net.Topology.id
     in
     let node_ok v =
       not (Net.Component.Set.mem (Net.Component.Node v) avoid_components)
@@ -116,7 +120,7 @@ let route_backup ?tie_break ?(strategy = Min_hops)
                 match Netstate.policy ns with
                 | Netstate.Brute_force _ -> 0.0
                 | Netstate.Multiplexed ->
-                  Mux.required_with mux ~link:id info
+                  Mux.probe_required probe ~link:id
                   -. Mux.spare_requirement mux ~link:id
               in
               Some (Float.max 0.0 increment +. epsilon_hop)

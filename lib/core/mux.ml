@@ -18,6 +18,10 @@ let encode_components set =
   Array.sort Int.compare a;
   a
 
+(* Reference intersection count: two-pointer merge over the sorted encoded
+   arrays.  Kept as the fallback for component encodings outside the bitset
+   range and as the oracle the bitset path is tested (and benchmarked)
+   against. *)
 let shared_count a b =
   let la = Array.length a and lb = Array.length b in
   let rec go i j acc =
@@ -28,23 +32,80 @@ let shared_count a b =
   in
   go 0 0 0
 
+(* ---------------- fixed-width bitsets over encoded components ----------- *)
+
+let bits_per_word = 63 (* OCaml native ints: stay within the positive range *)
+let max_bitset_bits = 65536 (* ~1k words: caps memory for hostile encodings *)
+
+let bitset_of_components a =
+  let n = Array.length a in
+  if n = 0 then Some [||]
+  else begin
+    let lo = ref a.(0) and hi = ref a.(0) in
+    Array.iter
+      (fun c ->
+        if c < !lo then lo := c;
+        if c > !hi then hi := c)
+      a;
+    if !lo < 0 || !hi >= max_bitset_bits then None
+    else begin
+      let words = (!hi / bits_per_word) + 1 in
+      let b = Array.make words 0 in
+      Array.iter
+        (fun c ->
+          b.(c / bits_per_word) <-
+            b.(c / bits_per_word) lor (1 lsl (c mod bits_per_word)))
+        a;
+      Some b
+    end
+  end
+
+let popcount w =
+  let rec go w acc = if w = 0 then acc else go (w land (w - 1)) (acc + 1) in
+  go w 0
+
+let shared_count_bitset a b =
+  let n = min (Array.length a) (Array.length b) in
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    acc := !acc + popcount (a.(i) land b.(i))
+  done;
+  !acc
+
 module Iset = Set.Make (Int)
 
 type entry = {
   info : backup_info;
+  bits : int array option;  (* component bitset; None -> merge-scan fallback *)
   mutable pi : Iset.t;  (* ids of non-multiplexable backups, ν_j ≤ ν_i *)
   mutable pi_bw : float;  (* cached Σ bw over pi *)
+  mutable gen : int;  (* bumped whenever the contribution changes *)
 }
+
+(* Lazy-deletion max-heap item: an item is live iff the entry still exists
+   and its generation matches (its contribution has not changed since the
+   push). *)
+type heap_item = { hc : float; hbid : int; hgen : int }
 
 type link_table = {
   entries : (int, entry) Hashtbl.t; (* backup id -> entry *)
   mutable requirement : float; (* cached spare requirement *)
+  heap : heap_item Sim.Heap.t; (* contributions, max on top *)
 }
+
+type s_cached = { ca : int array; cb : int array; s : float }
 
 type t = {
   tables : link_table array;
   lambda : float;
   mutable sink : (Sim.Event.t -> unit) option;
+  mutable pows : float array; (* (1-λ)^c memo; NaN = not yet computed *)
+  scache : (int * int, s_cached) Hashtbl.t;
+      (* symmetric S(B_i, B_j) by backup-id pair, for registered pairs *)
+  reg_count : (int, int) Hashtbl.t; (* backup id -> #links registered on *)
+  mutable retired : Iset.t; (* fully-unregistered ids pending cache sweep *)
+  mutable stamp : int; (* bumped on every register/unregister *)
+  mutable self_check : bool; (* cross-check vs the full recompute *)
 }
 
 let create topo ~lambda =
@@ -53,14 +114,26 @@ let create topo ~lambda =
   {
     tables =
       Array.init (Net.Topology.num_links topo) (fun _ ->
-          { entries = Hashtbl.create 16; requirement = 0.0 });
+          {
+            entries = Hashtbl.create 16;
+            requirement = 0.0;
+            heap = Sim.Heap.create ~cmp:(fun x y -> Float.compare y.hc x.hc);
+          });
     lambda;
     sink = None;
+    pows = Array.make 64 Float.nan;
+    scache = Hashtbl.create 1024;
+    reg_count = Hashtbl.create 256;
+    retired = Iset.empty;
+    stamp = 0;
+    self_check = false;
   }
 
 let lambda t = t.lambda
 
 let set_event_sink t s = t.sink <- s
+
+let set_self_check t on = t.self_check <- on
 
 let emit t ~link ~backup ~op ~pi ~psi =
   match t.sink with
@@ -72,25 +145,140 @@ let table t link =
     invalid_arg (Printf.sprintf "Mux: unknown link %d" link);
   t.tables.(link)
 
-(* S(B_i, B_j) from the two primaries' component sets. *)
-let s_value t a b =
-  let c_i = Array.length a.primary_components
-  and c_j = Array.length b.primary_components in
-  let sc = shared_count a.primary_components b.primary_components in
-  Reliability.Combinatorial.s_activation ~lambda:t.lambda ~c_i ~c_j ~sc
+(* (1-λ)^c, memoized per [t] (λ is fixed at creation).  Computed with the
+   same [Float.pow] expression as {!Reliability.Combinatorial.survival}, so
+   cached and uncached S-values are bit-identical. *)
+let pow t c =
+  if c > 1_000_000 then (1.0 -. t.lambda) ** float_of_int c
+  else begin
+    if c >= Array.length t.pows then begin
+      let np =
+        Array.make (max (c + 1) (2 * Array.length t.pows)) Float.nan
+      in
+      Array.blit t.pows 0 np 0 (Array.length t.pows);
+      t.pows <- np
+    end;
+    let v = t.pows.(c) in
+    if Float.is_nan v then begin
+      let v = (1.0 -. t.lambda) ** float_of_int c in
+      t.pows.(c) <- v;
+      v
+    end
+    else v
+  end
+
+(* Same expression shape as [Combinatorial.s_activation]. *)
+let s_of_counts t ~c_i ~c_j ~sc =
+  1.0 -. (pow t c_i +. pow t c_j -. pow t ((c_i + c_j) - sc))
+
+let overlap a_comps a_bits b_comps b_bits =
+  match (a_bits, b_bits) with
+  | Some x, Some y -> shared_count_bitset x y
+  | _ -> shared_count a_comps b_comps
+
+(* S(B_i, B_j) from the two primaries' component sets (symmetric). *)
+let s_value_raw t a_comps a_bits b_comps b_bits =
+  let c_i = Array.length a_comps and c_j = Array.length b_comps in
+  let sc = overlap a_comps a_bits b_comps b_bits in
+  s_of_counts t ~c_i ~c_j ~sc
+
+(* Cached S for a registered (or being-registered) pair.  The stored
+   component arrays are compared physically: a backup id recycled with a
+   different primary can never see a stale value. *)
+let s_between t a b =
+  let ia = a.info and ib = b.info in
+  let lo_comps, hi_comps =
+    if ia.backup <= ib.backup then (ia.primary_components, ib.primary_components)
+    else (ib.primary_components, ia.primary_components)
+  in
+  let key = (min ia.backup ib.backup, max ia.backup ib.backup) in
+  match Hashtbl.find_opt t.scache key with
+  | Some c when c.ca == lo_comps && c.cb == hi_comps -> c.s
+  | _ ->
+    let s =
+      s_value_raw t ia.primary_components a.bits ib.primary_components b.bits
+    in
+    if Hashtbl.length t.scache > 2_000_000 then Hashtbl.reset t.scache;
+    Hashtbl.replace t.scache key { ca = lo_comps; cb = hi_comps; s };
+    s
 
 (* Two backups of the same connection protect the same primary: they are
-   never multiplexed together (both activate when the primary dies). *)
-let conflicts t ~of_:a ~against:b =
-  (* b belongs to Π(a) iff ν_b ≤ ν_a and (same conn or S ≥ ν_a). *)
-  b.nu <= a.nu && (a.conn = b.conn || s_value t a b >= a.nu)
+   never multiplexed together (both activate when the primary dies).
+   b belongs to Π(a) iff ν_b ≤ ν_a and (same conn or S ≥ ν_a). *)
 
 let contribution e = e.info.bw +. e.pi_bw
 
-let recompute_requirement tab =
+(* The pre-optimization full-table scan, kept as the debug-mode reference
+   for the incremental requirement (see {!set_self_check}). *)
+let reference_requirement t ~link =
+  let tab = table t link in
   let req = ref 0.0 in
-  Hashtbl.iter (fun _ e -> if contribution e > !req then req := contribution e) tab.entries;
-  tab.requirement <- !req
+  Hashtbl.iter
+    (fun _ e -> if contribution e > !req then req := contribution e)
+    tab.entries;
+  !req
+
+(* Drop stale heap tops, refresh the cached requirement from the live
+   maximum, and compact the heap when lazy deletions pile up. *)
+let settle tab =
+  let rec top () =
+    match Sim.Heap.peek tab.heap with
+    | None -> tab.requirement <- 0.0
+    | Some it -> (
+      match Hashtbl.find_opt tab.entries it.hbid with
+      | Some e when e.gen = it.hgen -> tab.requirement <- Float.max 0.0 it.hc
+      | _ ->
+        ignore (Sim.Heap.pop tab.heap);
+        top ())
+  in
+  top ();
+  if Sim.Heap.length tab.heap > (2 * Hashtbl.length tab.entries) + 64 then begin
+    Sim.Heap.clear tab.heap;
+    Hashtbl.iter
+      (fun bid e ->
+        Sim.Heap.push tab.heap { hc = contribution e; hbid = bid; hgen = e.gen })
+      tab.entries
+  end
+
+let verify t tab ~link =
+  let reference = reference_requirement t ~link in
+  if tab.requirement <> reference then
+    failwith
+      (Printf.sprintf
+         "Mux: incremental requirement %.17g <> full recompute %.17g on link \
+          %d"
+         tab.requirement reference link)
+
+let push_contribution tab bid e =
+  Sim.Heap.push tab.heap { hc = contribution e; hbid = bid; hgen = e.gen }
+
+let note_registered t bid =
+  Hashtbl.replace t.reg_count bid
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.reg_count bid));
+  t.retired <- Iset.remove bid t.retired;
+  t.stamp <- t.stamp + 1
+
+(* On the last unregistration of a backup id, queue its S-cache entries for
+   removal; sweeps are batched to stay O(cache) only once per 128 retired
+   ids. *)
+let note_unregistered t bid =
+  t.stamp <- t.stamp + 1;
+  match Hashtbl.find_opt t.reg_count bid with
+  | None -> ()
+  | Some n when n > 1 -> Hashtbl.replace t.reg_count bid (n - 1)
+  | Some _ ->
+    Hashtbl.remove t.reg_count bid;
+    t.retired <- Iset.add bid t.retired;
+    if Iset.cardinal t.retired >= 128 then begin
+      let doomed = ref [] in
+      Hashtbl.iter
+        (fun ((a, b) as key) _ ->
+          if Iset.mem a t.retired || Iset.mem b t.retired then
+            doomed := key :: !doomed)
+        t.scache;
+      List.iter (Hashtbl.remove t.scache) !doomed;
+      t.retired <- Iset.empty
+    end
 
 let register t ~link info =
   let tab = table t link in
@@ -98,20 +286,46 @@ let register t ~link info =
     invalid_arg
       (Printf.sprintf "Mux.register: backup %d already on link %d" info.backup
          link);
-  let fresh = { info; pi = Iset.empty; pi_bw = 0.0 } in
+  let fresh =
+    {
+      info;
+      bits = bitset_of_components info.primary_components;
+      pi = Iset.empty;
+      pi_bw = 0.0;
+      gen = 0;
+    }
+  in
   Hashtbl.iter
     (fun _ e ->
-      if conflicts t ~of_:info ~against:e.info then begin
-        fresh.pi <- Iset.add e.info.backup fresh.pi;
-        fresh.pi_bw <- fresh.pi_bw +. e.info.bw
+      let ei = e.info in
+      (* Both Π directions share one S computation; the short-circuits are
+         those of the original [conflicts] predicate. *)
+      let computed = ref false and sv = ref 0.0 in
+      let s_val () =
+        if not !computed then begin
+          sv := s_between t fresh e;
+          computed := true
+        end;
+        !sv
+      in
+      if ei.nu <= info.nu && (info.conn = ei.conn || s_val () >= info.nu)
+      then begin
+        fresh.pi <- Iset.add ei.backup fresh.pi;
+        fresh.pi_bw <- fresh.pi_bw +. ei.bw
       end;
-      if conflicts t ~of_:e.info ~against:info then begin
+      if info.nu <= ei.nu && (ei.conn = info.conn || s_val () >= ei.nu)
+      then begin
         e.pi <- Iset.add info.backup e.pi;
-        e.pi_bw <- e.pi_bw +. info.bw
+        e.pi_bw <- e.pi_bw +. info.bw;
+        e.gen <- e.gen + 1;
+        push_contribution tab ei.backup e
       end)
     tab.entries;
   Hashtbl.add tab.entries info.backup fresh;
-  recompute_requirement tab;
+  push_contribution tab info.backup fresh;
+  settle tab;
+  note_registered t info.backup;
+  if t.self_check then verify t tab ~link;
   emit t ~link ~backup:info.backup ~op:Sim.Event.Register
     ~pi:(Iset.cardinal fresh.pi)
     ~psi:(Hashtbl.length tab.entries - Iset.cardinal fresh.pi - 1)
@@ -125,32 +339,57 @@ let unregister t ~link ~backup =
     let psi = Hashtbl.length tab.entries - pi - 1 in
     Hashtbl.remove tab.entries backup;
     Hashtbl.iter
-      (fun _ e ->
+      (fun bid e ->
         if Iset.mem backup e.pi then begin
           e.pi <- Iset.remove backup e.pi;
-          e.pi_bw <- e.pi_bw -. victim.info.bw
+          e.pi_bw <- e.pi_bw -. victim.info.bw;
+          e.gen <- e.gen + 1;
+          push_contribution tab bid e
         end)
       tab.entries;
-    recompute_requirement tab;
+    settle tab;
+    note_unregistered t backup;
+    if t.self_check then verify t tab ~link;
     emit t ~link ~backup ~op:Sim.Event.Unregister ~pi ~psi
 
 let spare_requirement t ~link = (table t link).requirement
+
+(* Shared admission scan: what the requirement would become with [info]
+   added.  [s_with e] must return S(info, e) and is invoked at most once
+   per entry; iteration order (and hence float accumulation order) matches
+   the register path exactly. *)
+let admission_scan tab info s_with =
+  let own = ref info.bw in
+  let req = ref tab.requirement in
+  Hashtbl.iter
+    (fun _ e ->
+      let ei = e.info in
+      let computed = ref false and sv = ref 0.0 in
+      let s_val () =
+        if not !computed then begin
+          sv := s_with e;
+          computed := true
+        end;
+        !sv
+      in
+      if ei.nu <= info.nu && (info.conn = ei.conn || s_val () >= info.nu) then
+        own := !own +. ei.bw;
+      if info.nu <= ei.nu && (ei.conn = info.conn || s_val () >= ei.nu)
+      then begin
+        let c = contribution e +. info.bw in
+        if c > !req then req := c
+      end)
+    tab.entries;
+  Float.max !own !req
 
 let required_with t ~link info =
   let tab = table t link in
   if Hashtbl.mem tab.entries info.backup then tab.requirement
   else begin
-    let own = ref info.bw in
-    let req = ref tab.requirement in
-    Hashtbl.iter
-      (fun _ e ->
-        if conflicts t ~of_:info ~against:e.info then own := !own +. e.info.bw;
-        if conflicts t ~of_:e.info ~against:info then begin
-          let c = contribution e +. info.bw in
-          if c > !req then req := c
-        end)
-      tab.entries;
-    Float.max !own !req
+    let bits = bitset_of_components info.primary_components in
+    admission_scan tab info (fun e ->
+        s_value_raw t info.primary_components bits e.info.primary_components
+          e.bits)
   end
 
 let on_link t ~link =
@@ -164,7 +403,7 @@ let find_entry t ~link ~backup =
   match Hashtbl.find_opt (table t link).entries backup with
   | Some e -> e
   | None ->
-    raise Not_found
+    invalid_arg (Printf.sprintf "Mux: backup %d not on link %d" backup link)
 
 let pi_size t ~link ~backup = Iset.cardinal (find_entry t ~link ~backup).pi
 
@@ -175,9 +414,18 @@ let psi_size t ~link ~backup =
 
 let psi_size_with t ~link info =
   let tab = table t link in
+  let bits = bitset_of_components info.primary_components in
   let pi = ref 0 in
   Hashtbl.iter
-    (fun _ e -> if conflicts t ~of_:info ~against:e.info then incr pi)
+    (fun _ e ->
+      let ei = e.info in
+      if
+        ei.nu <= info.nu
+        && (info.conn = ei.conn
+           || s_value_raw t info.primary_components bits ei.primary_components
+                e.bits
+              >= info.nu)
+      then incr pi)
     tab.entries;
   Hashtbl.length tab.entries - !pi
 
@@ -192,3 +440,84 @@ let max_requirement_victims t ~link =
         out := id :: !out)
     tab.entries;
   List.sort Int.compare !out
+
+(* ---------------- candidate admission probes ---------------- *)
+
+type probe = {
+  pt : t;
+  pinfo : backup_info;
+  pbits : int array option;
+  mutable pstamp : int; (* memos valid while this matches [pt.stamp] *)
+  s_memo : (int, int array * float) Hashtbl.t; (* peer bid -> (comps, S) *)
+  req_memo : (int, float) Hashtbl.t; (* link -> required_with *)
+  psi_memo : (int, int) Hashtbl.t; (* link -> psi_size_with *)
+}
+
+let probe t info =
+  {
+    pt = t;
+    pinfo = info;
+    pbits = bitset_of_components info.primary_components;
+    pstamp = t.stamp;
+    s_memo = Hashtbl.create 64;
+    req_memo = Hashtbl.create 16;
+    psi_memo = Hashtbl.create 16;
+  }
+
+let probe_info p = p.pinfo
+
+let probe_refresh p =
+  if p.pstamp <> p.pt.stamp then begin
+    Hashtbl.reset p.s_memo;
+    Hashtbl.reset p.req_memo;
+    Hashtbl.reset p.psi_memo;
+    p.pstamp <- p.pt.stamp
+  end
+
+(* S(candidate, e), cached across links while the tables are unchanged; the
+   stored component array is checked physically so an id registered with
+   different primaries on different links cannot alias. *)
+let probe_s p e =
+  let ei = e.info in
+  match Hashtbl.find_opt p.s_memo ei.backup with
+  | Some (comps, s) when comps == ei.primary_components -> s
+  | _ ->
+    let s =
+      s_value_raw p.pt p.pinfo.primary_components p.pbits ei.primary_components
+        e.bits
+    in
+    Hashtbl.replace p.s_memo ei.backup (ei.primary_components, s);
+    s
+
+let probe_required p ~link =
+  probe_refresh p;
+  match Hashtbl.find_opt p.req_memo link with
+  | Some r -> r
+  | None ->
+    let tab = table p.pt link in
+    let r =
+      if Hashtbl.mem tab.entries p.pinfo.backup then tab.requirement
+      else admission_scan tab p.pinfo (probe_s p)
+    in
+    Hashtbl.add p.req_memo link r;
+    r
+
+let probe_psi_size p ~link =
+  probe_refresh p;
+  match Hashtbl.find_opt p.psi_memo link with
+  | Some n -> n
+  | None ->
+    let tab = table p.pt link in
+    let info = p.pinfo in
+    let pi = ref 0 in
+    Hashtbl.iter
+      (fun _ e ->
+        let ei = e.info in
+        if
+          ei.nu <= info.nu
+          && (info.conn = ei.conn || probe_s p e >= info.nu)
+        then incr pi)
+      tab.entries;
+    let n = Hashtbl.length tab.entries - !pi in
+    Hashtbl.add p.psi_memo link n;
+    n

@@ -12,7 +12,22 @@
     the P_muxf bound) is everything on ℓ outside Π(B_i, ℓ) ∪ {B_i}.
 
     Updates are incremental: registering or removing one backup touches
-    only pairwise terms with that backup (the O(n) scheme of Section 6). *)
+    only pairwise terms with that backup (the O(n) scheme of Section 6).
+    The engine keeps the hot path scalable on large networks:
+
+    - primary-component overlap is counted with fixed-width bitsets
+      (native-int words + popcount) instead of a sorted-array merge;
+    - the [(1-λ)^c] power table is memoized per engine and symmetric
+      [S(B_i, B_j)] values are cached by backup-id pair (invalidated when
+      an id leaves its last link; recycled ids are guarded by physical
+      equality of the component arrays);
+    - each link's spare requirement is maintained incrementally in a
+      lazy-deletion max-heap over per-backup contributions, so
+      register/unregister cost O(log n) for the max update instead of a
+      full-table rescan (the full recompute survives as a debug-mode
+      reference, see {!set_self_check}).
+
+    All results are bit-identical to the pre-optimization full scans. *)
 
 type backup_info = {
   backup : int;  (** backup channel id (unique network-wide) *)
@@ -28,7 +43,19 @@ val encode_components : Net.Component.Set.t -> int array
 (** Sorted encoding for fast intersection counting. *)
 
 val shared_count : int array -> int array -> int
-(** Intersection size of two sorted encoded-component arrays. *)
+(** Intersection size of two sorted, duplicate-free encoded-component
+    arrays (reference two-pointer merge; the engine itself uses the
+    bitset path below whenever the encodings fit). *)
+
+val bitset_of_components : int array -> int array option
+(** Pack a sorted, duplicate-free, non-negative encoded-component array
+    into a fixed-width bitset (63 bits per native-int word).  [None] when
+    an element is negative or beyond the bitset range (65536), in which
+    case callers fall back to {!shared_count}. *)
+
+val shared_count_bitset : int array -> int array -> int
+(** Intersection size of two component bitsets: AND + popcount per word,
+    O(components/63). *)
 
 type t
 
@@ -57,26 +84,66 @@ val spare_requirement : t -> link:int -> float
 val required_with : t -> link:int -> backup_info -> float
 (** What the spare requirement would become if the backup were added —
     used by admission control during backup routing; does not modify the
-    table. *)
+    table.  For repeated probes of one candidate across many links (the
+    establishment inner loop), build a {!probe} instead: it reuses the
+    candidate's bitset and pairwise S-values across calls. *)
 
 val on_link : t -> link:int -> backup_info list
 val mem : t -> link:int -> backup:int -> bool
 val count_on : t -> link:int -> int
 
 val pi_size : t -> link:int -> backup:int -> int
-(** |Π(B_i, ℓ)|.  @raise Not_found for unknown backups. *)
+(** |Π(B_i, ℓ)|.
+    @raise Invalid_argument naming the link and backup id when the backup
+    is not registered on the link. *)
 
 val psi_size : t -> link:int -> backup:int -> int
-(** |Ψ(B_i, ℓ)| = (backups on ℓ) − |Π(B_i, ℓ)| − 1. *)
+(** |Ψ(B_i, ℓ)| = (backups on ℓ) − |Π(B_i, ℓ)| − 1.
+    @raise Invalid_argument naming the link and backup id when the backup
+    is not registered on the link. *)
 
 val psi_size_with : t -> link:int -> backup_info -> int
 (** |Ψ| the given backup would have if registered on the link (the
     forward-pass computation of the negotiated establishment scheme). *)
 
 val conflict_set : t -> link:int -> backup:int -> int list
-(** Backup ids in Π(B_i, ℓ). *)
+(** Backup ids in Π(B_i, ℓ).
+    @raise Invalid_argument naming the link and backup id when the backup
+    is not registered on the link. *)
 
 val max_requirement_victims : t -> link:int -> int list
 (** Backup ids realising the current spare requirement (the ones whose
     Π-set drives the max) — candidates for closure during resource
     reconfiguration when the pool must shrink. *)
+
+val set_self_check : t -> bool -> unit
+(** Debug mode: when on, every register/unregister cross-checks the
+    incrementally maintained spare requirement against
+    {!reference_requirement} and fails on any mismatch.  Off by default. *)
+
+val reference_requirement : t -> link:int -> float
+(** The pre-optimization full-table recompute of the spare requirement
+    (kept as the debug/testing reference; does not modify the table). *)
+
+(** {2 Candidate admission probes}
+
+    A probe fixes one candidate backup and answers admission questions for
+    it on any link, reusing the candidate's component bitset and caching
+    pairwise S-values and per-link answers.  Memoized answers are
+    invalidated automatically when any registration changes, so a probe
+    may be kept across table mutations; it simply recomputes on first use
+    afterwards. *)
+
+type probe
+
+val probe : t -> backup_info -> probe
+
+val probe_info : probe -> backup_info
+
+val probe_required : probe -> link:int -> float
+(** Same result as {!required_with} for the probe's candidate, memoized
+    per link. *)
+
+val probe_psi_size : probe -> link:int -> int
+(** Same result as {!psi_size_with} for the probe's candidate, memoized
+    per link. *)

@@ -109,6 +109,15 @@ let backup_admissible t ~link info =
     let req = Mux.required_with t.mux ~link info in
     Rtchan.Resource.can_set_spare (resources t) link req
 
+let admission_probe t info = Mux.probe t.mux info
+
+let backup_admissible_probe t probe ~link =
+  match t.policy with
+  | Brute_force _ -> true
+  | Multiplexed ->
+    Rtchan.Resource.can_set_spare (resources t) link
+      (Mux.probe_required probe ~link)
+
 let add_dconn t conn =
   if Hashtbl.mem t.dconns conn.Dconn.id then
     invalid_arg (Printf.sprintf "Netstate.add_dconn: duplicate id %d" conn.Dconn.id);

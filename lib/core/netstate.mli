@@ -50,6 +50,15 @@ val backup_admissible : t -> link:int -> Mux.backup_info -> bool
 (** Could the link absorb this backup without violating
     primary + spare ≤ capacity?  Always true under [Brute_force]. *)
 
+val admission_probe : t -> Mux.backup_info -> Mux.probe
+(** Batched admission for one candidate backup across many links: the
+    returned probe reuses the candidate's bitset and pairwise S-values,
+    so routing searches should probe once per candidate rather than call
+    {!backup_admissible} per relaxation. *)
+
+val backup_admissible_probe : t -> Mux.probe -> link:int -> bool
+(** {!backup_admissible} through a probe (memoized per link). *)
+
 val backup_info_of : t -> Dconn.t -> Dconn.backup -> Mux.backup_info
 
 val refresh_spare : t -> link:int -> unit

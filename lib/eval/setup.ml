@@ -1,18 +1,25 @@
-type network = Torus8 | Mesh8 | Torus4 | Mesh4
+type network = Torus8 | Mesh8 | Torus4 | Mesh4 | Torus16 | Mesh16
 
 let topology_of = function
   | Torus8 -> Net.Builders.torus ~rows:8 ~cols:8 ~capacity:200.0
   | Mesh8 -> Net.Builders.mesh ~rows:8 ~cols:8 ~capacity:300.0
   | Torus4 -> Net.Builders.torus ~rows:4 ~cols:4 ~capacity:50.0
   | Mesh4 -> Net.Builders.mesh ~rows:4 ~cols:4 ~capacity:75.0
+  | Torus16 -> Net.Builders.torus ~rows:16 ~cols:16 ~capacity:800.0
+  | Mesh16 -> Net.Builders.mesh ~rows:16 ~cols:16 ~capacity:1200.0
 
 let network_label = function
   | Torus8 -> "8x8 torus (200 Mbps links)"
   | Mesh8 -> "8x8 mesh (300 Mbps links)"
   | Torus4 -> "4x4 torus (50 Mbps links)"
   | Mesh4 -> "4x4 mesh (75 Mbps links)"
+  | Torus16 -> "16x16 torus (800 Mbps links)"
+  | Mesh16 -> "16x16 mesh (1200 Mbps links)"
 
-let dims = function Torus8 | Mesh8 -> (8, 8) | Torus4 | Mesh4 -> (4, 4)
+let dims = function
+  | Torus8 | Mesh8 -> (8, 8)
+  | Torus4 | Mesh4 -> (4, 4)
+  | Torus16 | Mesh16 -> (16, 16)
 
 let pair_count network =
   let rows, cols = dims network in
@@ -84,6 +91,17 @@ let build ?(seed = 42) ?(backups = 1) ?(mux_degree = 1) ?(lambda = 1e-4)
   let requests =
     Workload.Generator.shuffled rng
       (Workload.Generator.all_pairs ~backups ~mux_degree topo)
+  in
+  establish_all ~seed ?backup_routing ns requests
+
+let build_scaled ?(seed = 42) ?(backups = 1) ?(mux_degree = 3) ?(lambda = 1e-4)
+    ?(per_node = 8) ?backup_routing network =
+  let topo = topology_of network in
+  let ns = Bcp.Netstate.create ~lambda topo () in
+  let rng = Sim.Prng.create seed in
+  let count = per_node * Net.Topology.num_nodes topo in
+  let requests =
+    Workload.Generator.random_pairs rng ~backups ~mux_degree topo ~count
   in
   establish_all ~seed ?backup_routing ns requests
 

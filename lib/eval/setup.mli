@@ -1,12 +1,13 @@
 (** Shared experiment scaffolding: the paper's two evaluation networks and
     the standard all-pairs establishment pass (Section 7 preamble). *)
 
-type network = Torus8 | Mesh8 | Torus4 | Mesh4
+type network = Torus8 | Mesh8 | Torus4 | Mesh4 | Torus16 | Mesh16
 
 val topology_of : network -> Net.Topology.t
 (** 8×8 torus with 200 Mbps links or 8×8 mesh with 300 Mbps links (the
     paper's networks), plus capacity-scaled 4×4 variants for the reduced
-    benchmark suite and CI smokes. *)
+    benchmark suite and CI smokes and 16×16 variants for the large-network
+    scaling tier. *)
 
 val network_label : network -> string
 
@@ -59,6 +60,22 @@ val build :
     [mux_sink] is attached to the netstate's multiplexing engine before
     establishment, so it sees one {!Sim.Event.Mux} per backup-link
     registration (with its |Π| / |Ψ| sizes). *)
+
+val build_scaled :
+  ?seed:int ->
+  ?backups:int ->
+  ?mux_degree:int ->
+  ?lambda:float ->
+  ?per_node:int ->
+  ?backup_routing:Bcp.Establish.backup_routing ->
+  network ->
+  establishment
+(** Fixed per-node offered load for the scaling tier: [per_node] (default
+    8) random distinct-pair requests per network node (1 Mbps each, hop
+    slack 2, uniform backup count and multiplexing degree, default
+    mux degree 3), drawn from the seeded PRNG — so the workload grows
+    linearly with the network while the per-node demand stays constant
+    across 4×4 / 8×8 / 16×16. *)
 
 val build_mixed :
   ?seed:int ->
