@@ -1,0 +1,32 @@
+(* Attempt to trigger gen-collision in the lazy-deletion heap:
+   register B (big contribution via pi), bury under A, unregister B,
+   re-register B with small bw (gen resets to 0), remove A, read requirement. *)
+let lambda = 1e-4
+let info ~bid ~conn ~nu ~bw ~comps =
+  { Bcp.Mux.backup = bid; conn; serial = 1; nu; bw;
+    primary_components = comps }
+
+let () =
+  let topo = Net.Builders.ring ~nodes:4 ~capacity:100.0 in
+  let m = Bcp.Mux.create topo ~lambda in
+  let link = 0 in
+  (* distinct component families so S ~ 0 => no cross conflicts unless same conn *)
+  let c1 = [|0;2;4|] and c2 = [|10;12;14|] and c3 = [|20;22;24|] in
+  (* B: bid 0, bw 10 *)
+  Bcp.Mux.register m ~link (info ~bid:0 ~conn:0 ~nu:0.5 ~bw:10.0 ~comps:c1);
+  (* A: bid 2, bw 20 — no conflict with B (different conn, disjoint comps, S ~ 3e-4 < nu) *)
+  Bcp.Mux.register m ~link (info ~bid:2 ~conn:1 ~nu:0.5 ~bw:20.0 ~comps:c2);
+  Printf.printf "req after A,B: %g (expect 20)\n" (Bcp.Mux.spare_requirement m ~link);
+  (* unregister B: stale item {10,bid0,gen0} stays buried under A's 20 *)
+  Bcp.Mux.unregister m ~link ~backup:0;
+  Printf.printf "req after unreg B: %g (expect 20)\n" (Bcp.Mux.spare_requirement m ~link);
+  (* re-register bid 0 with bw 1, gen resets to 0 *)
+  Bcp.Mux.register m ~link (info ~bid:0 ~conn:2 ~nu:0.5 ~bw:1.0 ~comps:c3);
+  Printf.printf "req after re-reg B(bw=1): %g (expect 20)\n" (Bcp.Mux.spare_requirement m ~link);
+  (* remove A: live max should be 1, but stale {10,bid0,gen0} matches gen 0 *)
+  Bcp.Mux.unregister m ~link ~backup:2;
+  let got = Bcp.Mux.spare_requirement m ~link in
+  let ref_ = Bcp.Mux.reference_requirement m ~link in
+  Printf.printf "req after unreg A: incremental=%g reference=%g\n" got ref_;
+  if got <> ref_ then (print_endline "BUG REPRODUCED"; exit 1)
+  else print_endline "no divergence"
