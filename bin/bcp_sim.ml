@@ -448,10 +448,19 @@ let gray_arg =
     & info [ "gray" ] ~docv:"F"
         ~doc:"Gray-failure link fraction for the single level (with --loss).")
 
+let horizon_conv =
+  let parse s =
+    match float_of_string_opt s with
+    | Some v when v > 0.0 && Float.is_finite v -> Ok v
+    | Some _ -> Error (`Msg "--horizon must be > 0 seconds")
+    | None -> Error (`Msg (Printf.sprintf "invalid horizon %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_float)
+
 let horizon_arg =
   Arg.(
     value
-    & opt (some float) None
+    & opt (some horizon_conv) None
     & info [ "horizon" ] ~docv:"SEC" ~doc:"Simulated time past each fault.")
 
 let chaos_levels loss gray =
@@ -588,6 +597,11 @@ let run_audit network seed scenarios detector loss gray trace_file filters
       | Error e ->
         Printf.eprintf "audit: cannot load %s: %s\n" path e;
         exit 2
+      | Ok [] ->
+        (* An empty stream "audits" clean vacuously — call it out as a
+           malformed input instead of printing 0 violations. *)
+        Printf.eprintf "audit: %s contains no replayable events\n" path;
+        exit 2
       | Ok evs -> (path, evs, None))
     | None ->
       (* Live mode: a seeded chaos sweep (single level — clean unless
@@ -638,6 +652,151 @@ let audit_cmd =
           run_audit n s sc d l g tr f j jobs)
       $ network_arg $ seed_arg $ scenario_count_arg $ detector_arg $ loss_arg
       $ gray_arg $ trace_in_arg $ filter_arg $ audit_json_arg $ jobs_arg)
+
+(* ---------- swarm ---------- *)
+
+let positive_int_conv what =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some n -> Error (`Msg (Printf.sprintf "%s must be >= 1 (got %d)" what n))
+    | None -> Error (`Msg (Printf.sprintf "invalid %s %S" what s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let budget_arg =
+  Arg.(
+    value
+    & opt (positive_int_conv "--budget") 64
+    & info [ "budget" ] ~docv:"N" ~doc:"Number of scenarios to execute.")
+
+let wall_conv =
+  let parse s =
+    match float_of_string_opt s with
+    | Some v when v > 0.0 -> Ok v
+    | Some _ -> Error (`Msg "--wall must be > 0 seconds")
+    | None -> Error (`Msg (Printf.sprintf "invalid wall-clock budget %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_float)
+
+let wall_arg =
+  Arg.(
+    value
+    & opt (some wall_conv) None
+    & info [ "wall" ] ~docv:"SECS"
+        ~doc:
+          "Stop starting new scenario batches after SECS wall-clock seconds \
+           (an additional cap on --budget; the executed count then depends \
+           on machine speed, the per-scenario results do not).")
+
+let strategy_conv =
+  let parse s =
+    match Eval.Swarm.strategy_of_string s with
+    | Some st -> Ok st
+    | None ->
+      Error (`Msg (Printf.sprintf "unknown strategy %S (coverage|random)" s))
+  in
+  Arg.conv
+    ( parse,
+      fun ppf st ->
+        Format.pp_print_string ppf (Eval.Swarm.strategy_to_string st) )
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt strategy_conv Eval.Swarm.Coverage
+    & info [ "strategy" ] ~docv:"S"
+        ~doc:
+          "coverage (guided plan mutation) or random (equal-budget \
+           pure-random chaos baseline).")
+
+let max_faults_arg =
+  Arg.(
+    value
+    & opt (positive_int_conv "--max-faults") 3
+    & info [ "max-faults" ] ~docv:"N"
+        ~doc:"Maximum staged component faults per plan.")
+
+let artifact_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "artifact-dir" ] ~docv:"DIR"
+        ~doc:
+          "Write one replayable bcp-audit/v1 artifact per violation into \
+           DIR (created if missing).")
+
+let swarm_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Write the swarm summary to FILE (schema bcp-swarm/v1).")
+
+let run_swarm network seed budget wall strategy detector max_faults horizon
+    json_out artifact_dir jobs =
+  Sim.Pool.set_jobs jobs;
+  let est = Eval.Setup.build network in
+  let deadline =
+    Option.map
+      (fun secs ->
+        let t0 = Unix.gettimeofday () in
+        fun () -> Unix.gettimeofday () -. t0 >= secs)
+      wall
+  in
+  let report =
+    Eval.Swarm.run ~seed ~budget ~strategy ~detector ~max_faults ?horizon
+      ?deadline
+      ~network:(Eval.Setup.network_label network)
+      est.Eval.Setup.ns
+  in
+  Eval.Swarm.print report;
+  (match json_out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc
+      (Eval.Json.to_string ~indent:2 (Eval.Swarm.report_to_json report));
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote swarm summary to %s\n" path);
+  (match artifact_dir with
+  | None -> ()
+  | Some dir when report.Eval.Swarm.violations <> [] ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    List.iter
+      (fun v ->
+        let path =
+          Filename.concat dir
+            (Printf.sprintf "violation-%04d.json" v.Eval.Swarm.scenario)
+        in
+        let oc = open_out path in
+        output_string oc (Eval.Json.to_string ~indent:2 v.Eval.Swarm.artifact);
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "wrote artifact %s\n" path)
+      report.Eval.Swarm.violations
+  | Some _ -> ());
+  if report.Eval.Swarm.violations <> [] then exit 1
+
+let swarm_cmd =
+  let doc =
+    "Adversarial deterministic-simulation swarm: coverage-guided batches of \
+     combinatorial fault plans (timed multi-failure schedules, link \
+     impairments, gray links) with seeded scheduler perturbation, checked \
+     by the online invariant monitor. Violating runs are delta-debugged to \
+     minimal replayable bcp-audit/v1 artifacts; exit 1 if any violation \
+     survived. Summaries (--json, schema bcp-swarm/v1) are byte-identical \
+     across runs and --jobs settings."
+  in
+  Cmd.v
+    (Cmd.info "swarm" ~doc)
+    Term.(
+      const (fun n s b w st d mf h j ad jobs ->
+          run_swarm n s b w st d mf h j ad jobs)
+      $ network_arg $ seed_arg $ budget_arg $ wall_arg $ strategy_arg
+      $ detector_arg $ max_faults_arg $ horizon_arg $ swarm_json_arg
+      $ artifact_dir_arg $ jobs_arg)
 
 let run_markov ctx () =
   let rows = Eval.Reliability_cmp.compute ~hops:[ 1; 2; 4; 7; 10; 14 ] () in
@@ -714,6 +873,7 @@ let () =
             markov_cmd;
             chaos_cmd;
             audit_cmd;
+            swarm_cmd;
             all_cmd;
           ])
   in

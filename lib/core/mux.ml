@@ -91,6 +91,10 @@ type link_table = {
   entries : (int, entry) Hashtbl.t; (* backup id -> entry *)
   mutable requirement : float; (* cached spare requirement *)
   heap : heap_item Sim.Heap.t; (* contributions, max on top *)
+  mutable gen_counter : int;
+      (* generation source: never reused, so a heap item left over from a
+         previous life of a re-registered backup id can never match the
+         reborn entry's generation *)
 }
 
 type s_cached = { ca : int array; cb : int array; s : float }
@@ -118,6 +122,7 @@ let create topo ~lambda =
             entries = Hashtbl.create 16;
             requirement = 0.0;
             heap = Sim.Heap.create ~cmp:(fun x y -> Float.compare y.hc x.hc);
+            gen_counter = 0;
           });
     lambda;
     sink = None;
@@ -249,6 +254,10 @@ let verify t tab ~link =
           %d"
          tab.requirement reference link)
 
+let next_gen tab =
+  tab.gen_counter <- tab.gen_counter + 1;
+  tab.gen_counter
+
 let push_contribution tab bid e =
   Sim.Heap.push tab.heap { hc = contribution e; hbid = bid; hgen = e.gen }
 
@@ -292,7 +301,7 @@ let register t ~link info =
       bits = bitset_of_components info.primary_components;
       pi = Iset.empty;
       pi_bw = 0.0;
-      gen = 0;
+      gen = next_gen tab;
     }
   in
   Hashtbl.iter
@@ -317,7 +326,7 @@ let register t ~link info =
       then begin
         e.pi <- Iset.add info.backup e.pi;
         e.pi_bw <- e.pi_bw +. info.bw;
-        e.gen <- e.gen + 1;
+        e.gen <- next_gen tab;
         push_contribution tab ei.backup e
       end)
     tab.entries;
@@ -343,7 +352,7 @@ let unregister t ~link ~backup =
         if Iset.mem backup e.pi then begin
           e.pi <- Iset.remove backup e.pi;
           e.pi_bw <- e.pi_bw -. victim.info.bw;
-          e.gen <- e.gen + 1;
+          e.gen <- next_gen tab;
           push_contribution tab bid e
         end)
       tab.entries;

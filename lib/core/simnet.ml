@@ -293,10 +293,11 @@ and start_heartbeats t hb =
   for l = 0 to m - 1 do
     let offset = period *. (float_of_int (l + 1) /. float_of_int (m + 1)) in
     ignore
-      (Sim.Engine.schedule_after t.engine ~delay:offset (fun () ->
-           hb_send_tick t l));
+      (Sim.Engine.schedule_after ~klass:Sim.Engine.Timer t.engine
+         ~delay:offset (fun () -> hb_send_tick t l));
     ignore
-      (Sim.Engine.schedule_after t.engine ~delay:(offset +. (0.5 *. period))
+      (Sim.Engine.schedule_after ~klass:Sim.Engine.Timer t.engine
+         ~delay:(offset +. (0.5 *. period))
          (fun () -> hb_check_tick t l))
   done
 
@@ -316,8 +317,8 @@ and hb_send_tick t l =
       (Rcc.Control.Heartbeat { node = src; beat = t.hb_beats.(l) })
   end;
   ignore
-    (Sim.Engine.schedule_after t.engine ~delay:(hb_period t) (fun () ->
-         hb_send_tick t l))
+    (Sim.Engine.schedule_after ~klass:Sim.Engine.Timer t.engine
+       ~delay:(hb_period t) (fun () -> hb_send_tick t l))
 
 and hb_check_tick t l =
   let lk = Net.Topology.link t.topo l in
@@ -336,8 +337,8 @@ and hb_check_tick t l =
          (Sim.Event.Detector { node = dst; link = l; signal = Sim.Event.Suspect })
      | `Fine -> ());
   ignore
-    (Sim.Engine.schedule_after t.engine ~delay:(hb_period t) (fun () ->
-         hb_check_tick t l))
+    (Sim.Engine.schedule_after ~klass:Sim.Engine.Timer t.engine
+       ~delay:(hb_period t) (fun () -> hb_check_tick t l))
 
 and sender_drop t l =
   if not t.sender_reported.(l) then begin
@@ -380,7 +381,8 @@ and be_send t ~from_node ~to_node msg =
     if not (link_alive t l) then false
     else begin
       ignore
-        (Sim.Engine.schedule_after t.engine ~delay:t.cfg.Protocol.best_effort_delay
+        (Sim.Engine.schedule_after ~klass:Sim.Engine.Message t.engine
+           ~delay:t.cfg.Protocol.best_effort_delay
            (fun () ->
              if link_alive t l && t.node_alive.(to_node) then
                handle_be t to_node msg));
@@ -421,7 +423,8 @@ and start_rejoin_timer t node e =
   if e.rejoin = None then begin
     e.rejoin <-
       Some
-        (Sim.Engine.schedule_after t.engine ~delay:t.cfg.Protocol.rejoin_timeout
+        (Sim.Engine.schedule_after ~klass:Sim.Engine.Timer t.engine
+           ~delay:t.cfg.Protocol.rejoin_timeout
            (fun () -> rejoin_expired t node e));
     emit t
       (Sim.Event.Rejoin_timer { node; channel = e.cid; op = Sim.Event.Started })
@@ -540,7 +543,8 @@ and forward_rejoin_request t node e =
               (Protocol.Rejoin_request { channel = e.cid }))
     then
       ignore
-        (Sim.Engine.schedule_after t.engine ~delay:t.cfg.Protocol.rejoin_retry
+        (Sim.Engine.schedule_after ~klass:Sim.Engine.Timer t.engine
+           ~delay:t.cfg.Protocol.rejoin_retry
            (fun () -> forward_rejoin_request t node e))
   end
 
@@ -629,7 +633,8 @@ and try_activate t node v =
           v.vconn serial delay;
         v.pending <-
           Some
-            (Sim.Engine.schedule_after t.engine ~delay (fun () ->
+            (Sim.Engine.schedule_after ~klass:Sim.Engine.Timer t.engine
+               ~delay (fun () ->
                  v.pending <- None;
                  initiate_wave t node v serial))
       | Protocol.No_priority | Protocol.Preemptive ->
@@ -929,7 +934,8 @@ let do_fail_link t l =
        notice the silence (or the missing acks) themselves. *)
     if oracle_detection t then
       ignore
-        (Sim.Engine.schedule_after t.engine ~delay:t.cfg.Protocol.detection_latency
+        (Sim.Engine.schedule_after ~klass:Sim.Engine.Timer t.engine
+           ~delay:t.cfg.Protocol.detection_latency
            (fun () ->
              detect t lk.Net.Topology.src (Net.Component.Link l);
              detect t lk.Net.Topology.dst (Net.Component.Link l)))
@@ -955,7 +961,8 @@ let do_fail_node t v =
     in
     if oracle_detection t then
       ignore
-        (Sim.Engine.schedule_after t.engine ~delay:t.cfg.Protocol.detection_latency
+        (Sim.Engine.schedule_after ~klass:Sim.Engine.Timer t.engine
+           ~delay:t.cfg.Protocol.detection_latency
            (fun () ->
              List.iter (fun x -> detect t x (Net.Component.Node v)) neighbors))
     else ignore neighbors

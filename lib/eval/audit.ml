@@ -48,6 +48,21 @@ let context_of_netstate ns =
   in
   { Sim.Monitor.link_ctx; chan_ctx = List.rev chans; mux_bw }
 
+(* A [bcp-audit/v1] artifact with an embedded ["trace"] member (as the
+   swarm minimizer writes) replays like any other trace file. *)
+let events_of_artifact j =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+      match Telemetry.tagged_of_json line with
+      | Ok ev -> go (ev :: acc) rest
+      | Error e -> Error (Printf.sprintf "embedded trace: %s" e))
+  in
+  match Json.member "trace" j with
+  | Some (Json.List lines) -> go [] lines
+  | Some _ -> Error "artifact \"trace\" member is not an array"
+  | None -> Error "bcp-audit/v1 document has no embedded \"trace\" member"
+
 let load_trace path =
   match
     let ic = open_in_bin path in
@@ -57,13 +72,17 @@ let load_trace path =
     contents
   with
   | exception Sys_error e -> Error e
+  | exception e -> Error (Printexc.to_string e)
   | contents ->
     if Filename.check_suffix path ".jsonl" then
       Telemetry.events_of_jsonl contents
     else (
       match Json.of_string contents with
       | Error e -> Error e
-      | Ok j -> Telemetry.events_of_chrome j)
+      | Ok j -> (
+        match Json.member "schema" j with
+        | Some (Json.String "bcp-audit/v1") -> events_of_artifact j
+        | _ -> Telemetry.events_of_chrome j))
 
 (* ---------- replay ---------- *)
 

@@ -19,8 +19,11 @@ val context_of_netstate : Bcp.Netstate.t -> Sim.Monitor.context
     backup-bandwidth map is left empty (the bracket check self-skips). *)
 
 val load_trace : string -> ((int * float * Sim.Event.t) list, string) result
-(** Read a trace file: JSONL when the name ends in [.jsonl], Chrome
-    [trace_event] JSON otherwise. *)
+(** Read a trace file: JSONL when the name ends in [.jsonl]; otherwise a
+    [bcp-audit/v1] artifact with an embedded ["trace"] member (as the
+    swarm minimizer writes), or Chrome [trace_event] JSON.  Every
+    failure mode — unreadable file, parse error, unknown shape — comes
+    back as [Error], never an exception. *)
 
 (** {1 Replay} *)
 

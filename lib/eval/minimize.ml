@@ -1,0 +1,81 @@
+type outcome = {
+  events : (int * float * Sim.Event.t) list;
+  violation : Sim.Monitor.violation;
+  scenario : int;
+  original_events : int;
+  replays : int;
+}
+
+(* First [kind] violation anywhere in the stream, with its scenario. *)
+let find_violation ?context ~kind events =
+  let result = Audit.replay ?context events in
+  List.find_map
+    (fun (s : Audit.scenario_audit) ->
+      List.find_map
+        (fun (v : Sim.Monitor.violation) ->
+          if v.Sim.Monitor.kind = kind then Some (s.Audit.scenario, v) else None)
+        s.Audit.violations)
+    result.Audit.scenarios
+
+let minimize ?context ~kind events =
+  let replays = ref 0 in
+  let oracle evs =
+    incr replays;
+    find_violation ?context ~kind evs
+  in
+  match oracle events with
+  | None -> None
+  | Some (scenario, v) ->
+    let original_events = List.length events in
+    (* Restrict to the violating scenario: monitors are per-scenario, so
+       no other stream can influence the violation.  If the violation
+       fired while feeding (index < stream length), everything after it
+       is irrelevant too. *)
+    let stream =
+      Array.of_list (List.filter (fun (sc, _, _) -> sc = scenario) events)
+    in
+    let stream =
+      if v.Sim.Monitor.index + 1 < Array.length stream then
+        Array.sub stream 0 (v.Sim.Monitor.index + 1)
+      else stream
+    in
+    (* ddmin: split the current stream into [n] chunks and try each
+       complement; a reproducing complement restarts at granularity 2,
+       otherwise the granularity doubles until it exceeds the length. *)
+    let keep_complement arr lo hi =
+      (* all of [arr] except indices [lo, hi) *)
+      Array.append (Array.sub arr 0 lo)
+        (Array.sub arr hi (Array.length arr - hi))
+    in
+    let rec ddmin arr n =
+      let len = Array.length arr in
+      if len <= 1 || n > len then arr
+      else begin
+        let chunk = (len + n - 1) / n in
+        let rec try_chunks i =
+          if i >= n then None
+          else
+            let lo = i * chunk in
+            let hi = min len (lo + chunk) in
+            if lo >= hi then try_chunks (i + 1)
+            else
+              let candidate = keep_complement arr lo hi in
+              if Array.length candidate < len
+                 && oracle (Array.to_list candidate) <> None
+              then Some candidate
+              else try_chunks (i + 1)
+        in
+        match try_chunks 0 with
+        | Some candidate -> ddmin candidate (max 2 (n - 1))
+        | None -> if n >= len then arr else ddmin arr (min len (2 * n))
+      end
+    in
+    let minimized = Array.to_list (ddmin stream 2) in
+    (* Final authoritative replay on the survivor: its violation carries
+       the index/time valid for the minimized stream. *)
+    (match oracle minimized with
+    | None -> None (* unreachable: ddmin only keeps reproducing streams *)
+    | Some (scenario, violation) ->
+      Some
+        { events = minimized; violation; scenario; original_events;
+          replays = !replays })

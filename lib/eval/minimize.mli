@@ -1,0 +1,35 @@
+(** Delta-debugging trace minimizer (the swarm's shrinker).
+
+    Given a telemetry stream on which the {!Sim.Monitor} reports a
+    violation, find a {e 1-minimal} sub-stream that still reproduces a
+    violation of the same kind: removing any single remaining event
+    makes the violation disappear.  The oracle is {!Audit.replay}
+    itself, so whatever the minimizer returns is replayable with
+    [bcp_sim audit] byte-for-byte.
+
+    Because monitors are per-scenario, minimization first restricts the
+    stream to the violating scenario (and, for violations raised during
+    feeding rather than at end-of-stream, truncates it just past the
+    violation index) before running Zeller's ddmin. *)
+
+type outcome = {
+  events : (int * float * Sim.Event.t) list;
+      (** minimal sub-stream, original recording order *)
+  violation : Sim.Monitor.violation;
+      (** the violation as reported on the {e minimized} stream *)
+  scenario : int;  (** scenario tag the violation lives in *)
+  original_events : int;  (** stream length before minimization *)
+  replays : int;  (** oracle invocations spent *)
+}
+
+val minimize :
+  ?context:Sim.Monitor.context ->
+  kind:Sim.Monitor.kind ->
+  (int * float * Sim.Event.t) list ->
+  outcome option
+(** [None] when the full stream does not reproduce a [kind] violation
+    under the given (or absent) context in the first place.  Without
+    [context] the oracle matches artifact replay ([bcp_sim audit] on a
+    bare trace), which is what makes minimized artifacts
+    self-contained; pass [context] only for kinds that need link
+    budgets to fire at all. *)

@@ -30,6 +30,14 @@ val events_of_chrome : Json.t -> ((int * float * Sim.Event.t) list, string) resu
 (** Inverse of {!events_to_chrome}: rebuilds each event from its [args]
     member, [pid] and [ts]. *)
 
+val tagged_to_json : int * float * Sim.Event.t -> Json.t
+(** One (scenario, time, event) triple as the JSONL line object —
+    {!event_to_json} with ["scenario"] and ["time"] prepended.  Used to
+    embed event streams inside other JSON documents (swarm artifacts). *)
+
+val tagged_of_json : Json.t -> (int * float * Sim.Event.t, string) result
+(** Inverse of {!tagged_to_json}. *)
+
 val metrics_to_json : Sim.Metrics.snapshot -> Json.t
 (** Array of [{"name", "labels", "kind", "value"}] objects; timer values
     carry the full histogram. *)

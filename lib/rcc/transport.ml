@@ -148,7 +148,8 @@ let send_ack t (m : rcc_message) =
   List.iter
     (fun extra ->
       ignore
-        (Sim.Engine.schedule_after t.engine ~delay:(ack_delay +. extra)
+        (Sim.Engine.schedule_after ~klass:Sim.Engine.Message t.engine
+           ~delay:(ack_delay +. extra)
            (fun () -> if t.alive then ack_received t m.seq)))
     (copies t ~dir:`Ack ~bytes:ack_bytes)
 
@@ -163,7 +164,8 @@ let rec transmit t (m : rcc_message) ~attempt =
       (fun extra ->
         note_airborne t m.seq 1;
         ignore
-          (Sim.Engine.schedule_after t.engine ~delay:(base +. extra) (fun () ->
+          (Sim.Engine.schedule_after ~klass:Sim.Engine.Message t.engine
+             ~delay:(base +. extra) (fun () ->
                note_airborne t m.seq (-1);
                if t.alive then begin
                  receive t m;
@@ -174,8 +176,8 @@ let rec transmit t (m : rcc_message) ~attempt =
   (* Retransmission timer runs regardless of link state: the paper's BCP
      daemon "resends the unacknowledged RCC message". *)
   ignore
-    (Sim.Engine.schedule_after t.engine ~delay:t.params.retransmit_timeout
-       (fun () ->
+    (Sim.Engine.schedule_after ~klass:Sim.Engine.Timer t.engine
+       ~delay:t.params.retransmit_timeout (fun () ->
          match Hashtbl.find_opt t.unacked m.seq with
          | None -> ()
          | Some _ ->

@@ -1,3 +1,5 @@
+type klass = Message | Timer | Internal
+
 type event = {
   time : float;
   seq : int;
@@ -11,6 +13,7 @@ type t = {
   mutable clock : float;
   mutable next_seq : int;
   mutable live : int; (* scheduled and not cancelled *)
+  mutable perturb : (klass -> delay:float -> float) option;
   queue : event Heap.t;
 }
 
@@ -20,23 +23,41 @@ let compare_events a b =
   | c -> c
 
 let create () =
-  { clock = 0.0; next_seq = 0; live = 0; queue = Heap.create ~cmp:compare_events }
+  {
+    clock = 0.0;
+    next_seq = 0;
+    live = 0;
+    perturb = None;
+    queue = Heap.create ~cmp:compare_events;
+  }
 
 let now t = t.clock
 
-let schedule t ~at action =
+let set_perturb t hook = t.perturb <- hook
+
+(* Perturbation can only *add* delay, so the no-past invariant of
+   [schedule] is preserved by construction. *)
+let perturbed_at t klass ~at =
+  match klass, t.perturb with
+  | Internal, _ | _, None -> at
+  | (Message | Timer), Some hook ->
+    let extra = hook klass ~delay:(at -. t.clock) in
+    if extra > 0.0 then at +. extra else at
+
+let schedule ?(klass = Internal) t ~at action =
   if at < t.clock then
     invalid_arg
       (Printf.sprintf "Engine.schedule: time %g is before now (%g)" at t.clock);
+  let at = perturbed_at t klass ~at in
   let ev = { time = at; seq = t.next_seq; action; cancelled = false } in
   t.next_seq <- t.next_seq + 1;
   t.live <- t.live + 1;
   Heap.push t.queue ev;
   ev
 
-let schedule_after t ~delay action =
+let schedule_after ?(klass = Internal) t ~delay action =
   if delay < 0.0 then invalid_arg "Engine.schedule_after: negative delay";
-  schedule t ~at:(t.clock +. delay) action
+  schedule ~klass t ~at:(t.clock +. delay) action
 
 let cancel t ev =
   if not ev.cancelled then begin

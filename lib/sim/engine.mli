@@ -11,17 +11,34 @@ type t
 type handle
 (** Identifies a scheduled event so it can be cancelled. *)
 
+type klass = Message | Timer | Internal
+(** What a scheduled event models.  [Message] is a network delivery,
+    [Timer] a protocol timer firing; both are legitimate targets for
+    adversarial perturbation (the network may be slow, the process may
+    be descheduled).  [Internal] events — fault injections, workload
+    arrivals, bookkeeping — fire exactly when scheduled and are never
+    perturbed. *)
+
 val create : unit -> t
 (** Fresh engine at time 0. *)
 
 val now : t -> float
 (** Current simulated time. *)
 
-val schedule : t -> at:float -> (unit -> unit) -> handle
-(** [schedule t ~at f] runs [f] when the clock reaches [at].
+val set_perturb : t -> (klass -> delay:float -> float) option -> unit
+(** Install (or clear) a perturbation hook.  For every [Message] or
+    [Timer] event scheduled afterwards, the hook receives the event's
+    class and nominal delay from now and returns an {e extra} delay to
+    add; non-positive returns leave the event untouched.  [Internal]
+    events never reach the hook.  Since extra delay is non-negative the
+    no-past invariant of {!schedule} is preserved. *)
+
+val schedule : ?klass:klass -> t -> at:float -> (unit -> unit) -> handle
+(** [schedule t ~at f] runs [f] when the clock reaches [at]
+    ([klass] defaults to [Internal]; see {!set_perturb}).
     @raise Invalid_argument if [at] is in the past. *)
 
-val schedule_after : t -> delay:float -> (unit -> unit) -> handle
+val schedule_after : ?klass:klass -> t -> delay:float -> (unit -> unit) -> handle
 (** [schedule_after t ~delay f] = [schedule t ~at:(now t +. delay) f];
     [delay] must be non-negative. *)
 

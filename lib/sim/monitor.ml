@@ -93,6 +93,7 @@ type t = {
   fail_fast : bool;
   mutable seen : int;
   mutable viols : violation list; (* newest first *)
+  cov : (string, unit) Hashtbl.t; (* coverage signal, see [coverage] *)
   (* shadow state *)
   shadow : (int * int, Event.chan_state) Hashtbl.t; (* (node, ch) -> state *)
   origin_seen : (int, unit) Hashtbl.t; (* channels with a failure origin *)
@@ -121,6 +122,7 @@ let create ?context ?decode_channel ?(fail_fast = false) () =
       fail_fast;
       seen = 0;
       viols = [];
+      cov = Hashtbl.create 64;
       shadow = Hashtbl.create 256;
       origin_seen = Hashtbl.create 64;
       failed_conns = Hashtbl.create 64;
@@ -156,10 +158,16 @@ let create ?context ?decode_channel ?(fail_fast = false) () =
 let events_seen t = t.seen
 let violations t = List.rev t.viols
 
+let cover t key = Hashtbl.replace t.cov key ()
+
+let coverage t =
+  List.sort String.compare (Hashtbl.fold (fun k () acc -> k :: acc) t.cov [])
+
 let violate t ~index ~time ?conn ?link ?node ?channel kind ~expected ~actual =
   let v =
     { kind; index; time; conn; link; node; channel; expected; actual }
   in
+  cover t ("viol:" ^ kind_to_string kind);
   t.viols <- v :: t.viols;
   if t.fail_fast then raise (Violation v)
 
@@ -260,6 +268,7 @@ let draw_pool t ~index ~time ~node ~channel ci ~release =
     end
 
 let check_transition t ~index ~time ~node ~channel ~from_ ~to_ ~cause =
+  cover t (Printf.sprintf "trans:%s>%s:%s" (st from_) (st to_) cause);
   let decoded = decode t channel in
   let conn = Option.map fst decoded in
   (* Shadow continuity: the event's [from_] must match what we believe the
@@ -368,6 +377,7 @@ let check_activation t ~index ~time ~node ~conn ~serial ~channel =
 (* ---------- rejoin timers ---------- *)
 
 let check_timer t ~index ~time ~node ~channel ~op =
+  cover t ("timer:" ^ Event.timer_op_to_string op);
   let conn = Option.map fst (decode t channel) in
   let running =
     Option.value ~default:false (Hashtbl.find_opt t.timers (node, channel))
@@ -408,6 +418,7 @@ let mux_set t link =
     s
 
 let check_mux t ~index ~time ~link ~backup ~op ~pi ~psi =
+  cover t ("mux:" ^ Event.mux_op_to_string op);
   let set = mux_set t link in
   let complete = not (Hashtbl.mem t.mux_incomplete link) in
   if pi < 0 || psi < 0 then
@@ -481,11 +492,24 @@ let feed t ~time ev =
   | Event.Mux { link; backup; op; pi; psi } ->
     check_mux t ~index ~time ~link ~backup ~op ~pi ~psi
   | Event.Fault { component; up } -> note_fault t ~time ~component ~up
-  | Event.Rcc _ | Event.Detector _ | Event.Reconfig _ -> ()
+  (* Not invariant-checked, but each distinct op / signal / action is a
+     behaviour worth steering the swarm toward. *)
+  | Event.Rcc { op; _ } -> cover t ("rcc:" ^ Event.rcc_op_to_string op)
+  | Event.Detector { signal; _ } ->
+    cover t ("det:" ^ Event.detector_signal_to_string signal)
+  | Event.Reconfig { action; _ } -> cover t ("reconfig:" ^ action)
+
+(* One letter per recovery phase a timeline reached: F(ault) D(etect)
+   R(eport) A(ctivate) S(witch); "-" for a phase never observed. *)
+let outcome_signature tl =
+  let mark c = function Some _ -> c | None -> "-" in
+  mark "F" tl.fault_at ^ mark "D" tl.detect_at ^ mark "R" tl.report_at
+  ^ mark "A" tl.activate_at ^ mark "S" tl.switch_at
 
 let finish t =
   if not t.finished then begin
     t.finished <- true;
+    Hashtbl.iter (fun _ tl -> cover t ("outcome:" ^ outcome_signature tl)) t.tls;
     List.iter
       (fun (conn, time, index) ->
         violate t ~index ~time ~conn Phase_order

@@ -134,3 +134,24 @@ type timeline = {
 val timelines : t -> timeline list
 (** One per connection that saw recovery activity, sorted by connection
     id.  Phases missing from the stream are [None]. *)
+
+(** {1 Coverage}
+
+    The monitor doubles as the coverage oracle of the adversarial swarm
+    ({!Eval.Swarm}): every behaviour it can distinguish becomes a key in
+    a coverage set, and scenarios that light up new keys are worth
+    mutating further. *)
+
+val coverage : t -> string list
+(** Sorted, duplicate-free coverage keys observed so far:
+    - ["trans:<from>><to>:<cause>"] — a shadow-automaton transition
+      (legal or not) was exercised, e.g. ["trans:B>P:activate"];
+    - ["viol:<kind>"] — a violation of that kind fired;
+    - ["outcome:<FDRAS>"] — a per-connection recovery timeline ended
+      with this phase signature (one letter per phase reached, ["-"]
+      for a phase never observed; only populated by {!finish});
+    - ["rcc:<op>"], ["det:<signal>"], ["timer:<op>"], ["mux:<op>"],
+      ["reconfig:<action>"] — event families the monitor does not
+      invariant-check per se, but whose occurrence distinguishes
+      behaviours (a retransmission, a heartbeat confirm, a rejoin-timer
+      expiry, a replacement-failed reconfiguration...). *)

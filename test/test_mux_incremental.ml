@@ -328,6 +328,35 @@ let test_bid_recycling_no_stale_cache () =
   Alcotest.(check (float 0.0)) "recycled id re-evaluated" 1.0
     (Bcp.Mux.spare_requirement m ~link:0)
 
+(* Lazy-deletion heap generation collision: bury a big contribution under
+   a bigger one, unregister it (stale heap item), re-register the same
+   bid (generation counter resets), then remove the cover.  The stale
+   item's generation matches the reborn bid's, so a buggy heap would
+   report the dead 10.0 instead of the live 1.0. *)
+let test_heap_gen_collision () =
+  let m = Bcp.Mux.create (Net.Builders.ring ~nodes:4 ~capacity:100.0) ~lambda in
+  let info ~bid ~conn ~bw ~comps =
+    {
+      Bcp.Mux.backup = bid;
+      conn;
+      serial = 1;
+      nu = 0.5;
+      bw;
+      primary_components = comps;
+    }
+  in
+  let link = 0 in
+  (* distinct component families: S ~ 0, no cross conflicts *)
+  Bcp.Mux.register m ~link (info ~bid:0 ~conn:0 ~bw:10.0 ~comps:[| 0; 2; 4 |]);
+  Bcp.Mux.register m ~link (info ~bid:2 ~conn:1 ~bw:20.0 ~comps:[| 10; 12; 14 |]);
+  Bcp.Mux.unregister m ~link ~backup:0;
+  Bcp.Mux.register m ~link (info ~bid:0 ~conn:2 ~bw:1.0 ~comps:[| 20; 22; 24 |]);
+  Bcp.Mux.unregister m ~link ~backup:2;
+  Alcotest.(check (float 0.0))
+    "incremental requirement survives bid-generation reuse"
+    (Bcp.Mux.reference_requirement m ~link)
+    (Bcp.Mux.spare_requirement m ~link)
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -343,5 +372,7 @@ let () =
             test_descriptive_lookup_errors;
           Alcotest.test_case "bid recycling vs S-cache" `Quick
             test_bid_recycling_no_stale_cache;
+          Alcotest.test_case "heap generation collision" `Quick
+            test_heap_gen_collision;
         ] );
     ]
