@@ -74,23 +74,40 @@ let table_rows t =
         | None -> [] ))
     (list_member "rows" t)
 
-let compare_table ~title base fresh =
+(* Every drifted cell gets its own FAIL line (naming the column and the
+   offending baseline file), and comparison continues past the first
+   mismatch so one run reports the complete drift set. *)
+let compare_table ~baseline_path ~title base fresh =
   let bc = table_columns base and fc = table_columns fresh in
   if bc <> fc then
-    fail "%s: columns differ\n  baseline: %s\n  fresh:    %s" title
-      (String.concat " | " bc) (String.concat " | " fc);
+    fail "%s: columns differ (baseline %s)\n  baseline: %s\n  fresh:    %s"
+      title baseline_path (String.concat " | " bc) (String.concat " | " fc);
+  let column i =
+    match List.nth_opt bc i with
+    | Some c -> c
+    | None -> Printf.sprintf "column %d" i
+  in
   let br = table_rows base and fr = table_rows fresh in
   if List.length br <> List.length fr then
-    fail "%s: %d rows in baseline, %d in fresh" title (List.length br)
-      (List.length fr)
+    fail "%s: %d rows in baseline, %d in fresh (baseline %s)" title
+      (List.length br) (List.length fr) baseline_path
   else
     List.iter2
       (fun (bl, bcells) (fl, fcells) ->
-        if bl <> fl then fail "%s: row label %S became %S" title bl fl
-        else if bcells <> fcells then
-          fail "%s / %s: cells differ\n  baseline: %s\n  fresh:    %s" title bl
-            (String.concat " | " bcells)
-            (String.concat " | " fcells))
+        if bl <> fl then
+          fail "%s: row label %S became %S (baseline %s)" title bl fl
+            baseline_path;
+        let row = if bl = fl then bl else Printf.sprintf "%s->%s" bl fl in
+        if List.length bcells <> List.length fcells then
+          fail "%s / %s: %d cells in baseline, %d in fresh (baseline %s)" title
+            row (List.length bcells) (List.length fcells) baseline_path
+        else
+          List.iteri
+            (fun i (b, f) ->
+              if b <> f then
+                fail "%s / %s / %s: %S became %S (baseline %s)" title row
+                  (column i) b f baseline_path)
+            (List.combine bcells fcells))
       br fr
 
 let check_timing ~tolerance ~what base fresh =
@@ -139,9 +156,10 @@ let () =
     (fun bt ->
       let title = table_title bt in
       match find_fresh title with
-      | None -> fail "%s: missing from fresh results" title
+      | None ->
+        fail "%s: missing from fresh results (baseline %s)" title baseline_path
       | Some ft ->
-        compare_table ~title bt ft;
+        compare_table ~baseline_path ~title bt ft;
         check_timing ~tolerance:!tolerance ~what:title
           (float_member "wall_s" bt) (float_member "wall_s" ft))
     base_tables;

@@ -313,6 +313,77 @@ let scaling () =
           :: !kernel_timings)
     runs
 
+(* ------------- Churn suite: steady-state lifecycles (--churn-only) ---- *)
+
+(* Offered-load ladders tuned so the top rung actually blocks: 4 Mbps
+   connections push the 4x4 torus (50 Mbps links) into admission rejection
+   around 10 E/node, and the 16x16 cell exercises the incremental mux
+   hot path at production-shaped table sizes.  Outcomes are computed
+   before the tables so the recorded walls time only rendering; the
+   lifecycle throughput goes through the "timing:" lines and the JSON
+   timings section instead. *)
+let churn () =
+  let seed = !seed in
+  let run_tier ~label ~events ~offered ~bandwidth ~fault_every ~net =
+    let t0 = Unix.gettimeofday () in
+    let outcomes =
+      Eval.Churn.run ~seed ~events ~offered ~bandwidth ~fault_every ~windows:4
+        net
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    let total_events =
+      List.fold_left
+        (fun a (o : Eval.Churn.outcome) -> a + o.Eval.Churn.events)
+        0 outcomes
+    in
+    Printf.printf "timing: churn %-12s %6.2f s  (%d lifecycle events, %7.0f events/s)\n"
+      label dt total_events
+      (float_of_int total_events /. dt);
+    kernel_timings :=
+      ( Printf.sprintf "churn %s (ns/event)" label,
+        dt *. 1e9 /. float_of_int total_events )
+      :: !kernel_timings;
+    outcomes
+  in
+  hr "CHURN: offered-load ladder, 4x4 torus (4 Mbps conns, faults every 25 s)";
+  let ladder =
+    run_tier ~label:"4x4 ladder" ~events:6_000 ~offered:[ 4.0; 10.0; 24.0 ]
+      ~bandwidth:4.0 ~fault_every:25.0 ~net:Eval.Setup.Torus4
+  in
+  table (fun () ->
+      Eval.Churn.summary_report
+        ~title:
+          "Churn: 4x4 torus offered-load ladder (6k events/cell, 4 Mbps, \
+           faults every 25 s)"
+        ladder);
+  List.iter
+    (fun (o : Eval.Churn.outcome) ->
+      table (fun () ->
+          Eval.Churn.windows_report
+            ~title:
+              (Printf.sprintf "Churn windows: 4x4 ladder (offered %.1f E/node)"
+                 o.Eval.Churn.offered)
+            o))
+    ladder;
+  hr "CHURN: 16x16 torus steady-state cell (1 Mbps conns, faults every 25 s)";
+  let big =
+    run_tier ~label:"16x16 cell" ~events:4_000 ~offered:[ 4.0 ] ~bandwidth:1.0
+      ~fault_every:25.0 ~net:Eval.Setup.Torus16
+  in
+  table (fun () ->
+      Eval.Churn.summary_report
+        ~title:"Churn: 16x16 torus steady-state cell (4k events, 4 E/node)"
+        big);
+  List.iter
+    (fun (o : Eval.Churn.outcome) ->
+      table (fun () ->
+          Eval.Churn.windows_report
+            ~title:
+              (Printf.sprintf "Churn windows: 16x16 cell (offered %.1f E/node)"
+                 o.Eval.Churn.offered)
+            o))
+    big
+
 (* ------------- Bechamel micro-benchmarks (--micro) ------------- *)
 
 open Bechamel
@@ -568,11 +639,12 @@ let () =
   let part1_only = ref false in
   let part2_only = ref false in
   let scaling_only = ref false in
+  let churn_only = ref false in
   let micro = ref false in
   let json_path = ref None in
   let omit_timings = ref false in
   let jobs = ref 1 in
-  let usage = "bench [--part1-only|--part2-only|--scaling-only] [--jobs N] [--json FILE] [--omit-timings] [--micro] [--seed N]" in
+  let usage = "bench [--part1-only|--part2-only|--scaling-only|--churn-only] [--jobs N] [--json FILE] [--omit-timings] [--micro] [--seed N]" in
   let spec =
     [
       ("--part1-only", Arg.Set part1_only, " Run only the full-scale 8x8 suite");
@@ -580,6 +652,9 @@ let () =
       ( "--scaling-only",
         Arg.Set scaling_only,
         " Run only the 4x4 -> 8x8 -> 16x16 scaling suite" );
+      ( "--churn-only",
+        Arg.Set churn_only,
+        " Run only the steady-state churn suite" );
       ("--jobs", Arg.Set_int jobs, "N Domains for scenario sweeps (default 1)");
       ( "--json",
         Arg.String (fun s -> json_path := Some s),
@@ -609,15 +684,23 @@ let () =
     (if !part1_only then 1 else 0)
     + (if !part2_only then 1 else 0)
     + (if !scaling_only then 1 else 0)
+    + (if !churn_only then 1 else 0)
     > 1
-  then die "--part1-only, --part2-only and --scaling-only are mutually exclusive";
+  then
+    die
+      "--part1-only, --part2-only, --scaling-only and --churn-only are \
+       mutually exclusive";
   Sim.Pool.set_jobs !jobs;
   let t0 = Unix.gettimeofday () in
-  if not (!part2_only || !scaling_only) then part1 ();
-  if not (!part1_only || !scaling_only) then part2 ();
-  (* The scaling tier runs in the full suite and under --scaling-only; the
-     part-1/part-2 selections stay exactly the historical suites. *)
-  if !scaling_only || not (!part1_only || !part2_only) then scaling ();
+  if not (!part2_only || !scaling_only || !churn_only) then part1 ();
+  if not (!part1_only || !scaling_only || !churn_only) then part2 ();
+  (* The scaling and churn tiers run in the full suite and under their
+     --*-only flags; the part-1/part-2 selections stay exactly the
+     historical suites. *)
+  if !scaling_only || not (!part1_only || !part2_only || !churn_only) then
+    scaling ();
+  if !churn_only || not (!part1_only || !part2_only || !scaling_only) then
+    churn ();
   if !micro then begin
     hr "MICRO-BENCHMARKS (Bechamel, reduced-scale kernels)";
     run_bechamel ()
@@ -631,6 +714,7 @@ let () =
       if !part1_only then "part1"
       else if !part2_only then "part2"
       else if !scaling_only then "scaling"
+      else if !churn_only then "churn"
       else "full"
     in
     write_json ~path ~suite ~omit_timings:!omit_timings ~total_wall)

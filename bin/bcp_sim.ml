@@ -798,6 +798,221 @@ let swarm_cmd =
       $ detector_arg $ max_faults_arg $ horizon_arg $ swarm_json_arg
       $ artifact_dir_arg $ jobs_arg)
 
+(* ---------- churn ---------- *)
+
+let offered_conv =
+  let parse s =
+    let parts = String.split_on_char ',' s in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | p :: rest -> (
+        match float_of_string_opt (String.trim p) with
+        | Some v when v > 0.0 && Float.is_finite v -> go (v :: acc) rest
+        | _ ->
+          Error
+            (`Msg
+              (Printf.sprintf
+                 "invalid offered load %S (expected positive Erlangs/node)" p)))
+    in
+    match parts with
+    | [] | [ "" ] -> Error (`Msg "empty offered-load ladder")
+    | parts -> go [] parts
+  in
+  let print ppf levels =
+    Format.pp_print_string ppf
+      (String.concat "," (List.map (Printf.sprintf "%g") levels))
+  in
+  Arg.conv (parse, print)
+
+let offered_arg =
+  Arg.(
+    value
+    & opt offered_conv [ 2.0; 4.0; 6.0 ]
+    & info [ "offered" ] ~docv:"E1,E2,..."
+        ~doc:
+          "Comma-separated offered-load ladder, in Erlangs per node; one \
+           independent churn cell per level.")
+
+let events_arg =
+  Arg.(
+    value
+    & opt (positive_int_conv "--events") 20_000
+    & info [ "events" ] ~docv:"N"
+        ~doc:"Connection-lifecycle events to drive per cell.")
+
+let positive_float_conv what =
+  let parse s =
+    match float_of_string_opt s with
+    | Some v when v > 0.0 && Float.is_finite v -> Ok v
+    | Some _ -> Error (`Msg (Printf.sprintf "%s must be > 0" what))
+    | None -> Error (`Msg (Printf.sprintf "invalid %s %S" what s))
+  in
+  Arg.conv (parse, Format.pp_print_float)
+
+let holding_arg =
+  Arg.(
+    value
+    & opt (positive_float_conv "--holding") 50.0
+    & info [ "holding" ] ~docv:"SEC"
+        ~doc:"Mean exponential holding time, sim seconds.")
+
+let churn_bandwidth_arg =
+  Arg.(
+    value
+    & opt (positive_float_conv "--bandwidth") 1.0
+    & info [ "bandwidth" ] ~docv:"MBPS" ~doc:"Per-connection bandwidth.")
+
+let fault_every_conv =
+  let parse s =
+    match float_of_string_opt s with
+    | Some v when v >= 0.0 && Float.is_finite v -> Ok v
+    | Some _ -> Error (`Msg "--fault-every must be >= 0 (0 disables faults)")
+    | None -> Error (`Msg (Printf.sprintf "invalid fault interval %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_float)
+
+let fault_every_arg =
+  Arg.(
+    value
+    & opt fault_every_conv 0.0
+    & info [ "fault-every" ] ~docv:"SEC"
+        ~doc:
+          "Run a transient single-link fault episode every SEC sim seconds \
+           of churn (0 = no faults).")
+
+let windows_arg =
+  Arg.(
+    value
+    & opt (positive_int_conv "--windows") 8
+    & info [ "windows" ] ~docv:"N"
+        ~doc:"Time windows per cell in the pressure breakdown.")
+
+let max_blocking_conv =
+  let parse s =
+    match float_of_string_opt s with
+    | Some v when v >= 0.0 && v <= 100.0 -> Ok v
+    | Some _ -> Error (`Msg "--max-blocking must be a percentage in [0, 100]")
+    | None -> Error (`Msg (Printf.sprintf "invalid blocking bound %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_float)
+
+let max_blocking_arg =
+  Arg.(
+    value
+    & opt (some max_blocking_conv) None
+    & info [ "max-blocking" ] ~docv:"PCT"
+        ~doc:
+          "Fail (exit 1) if any cell's blocking probability exceeds PCT \
+           percent.")
+
+let churn_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Write the churn summary to FILE (schema bcp-churn/v1).")
+
+let run_churn network seed events offered holding bandwidth backups fault_every
+    horizon windows detector max_blocking use_metrics trace_out json_out jobs =
+  Sim.Pool.set_jobs jobs;
+  let horizon = Option.value ~default:0.25 horizon in
+  let t0 = Unix.gettimeofday () in
+  let outcomes, tele =
+    if use_metrics || trace_out <> None then begin
+      let outcomes, tele =
+        Eval.Churn.run_telemetry ~seed ~events ~offered ~mean_holding:holding
+          ~bandwidth ~backups ~fault_every ~horizon ~detector ~windows network
+      in
+      (outcomes, Some tele)
+    end
+    else
+      ( Eval.Churn.run ~seed ~events ~offered ~mean_holding:holding ~bandwidth
+          ~backups ~fault_every ~horizon ~detector ~windows network,
+        None )
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  Eval.Report.print
+    (Eval.Churn.summary_report
+       ~title:
+         (Printf.sprintf "Steady-state churn (%s, %s detector)"
+            (Eval.Setup.network_label network)
+            (match detector with `Oracle -> "oracle" | `Heartbeat -> "heartbeat"))
+       outcomes);
+  List.iter
+    (fun o -> Eval.Report.print (Eval.Churn.windows_report o))
+    outcomes;
+  (match tele with
+  | None -> ()
+  | Some t ->
+    if use_metrics then begin
+      let phases =
+        Eval.Recovery_delay.phases_of_snapshot t.Eval.Churn.metrics
+      in
+      Eval.Report.print (Eval.Recovery_delay.phases_report phases);
+      Eval.Report.print (Eval.Telemetry.metrics_report t.Eval.Churn.metrics)
+    end;
+    (match trace_out with
+    | None -> ()
+    | Some path -> write_trace path t.Eval.Churn.events));
+  (match json_out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc
+      (Eval.Json.to_string ~indent:2
+         (Eval.Churn.report_to_json ~seed ~events ~fault_every ~horizon
+            ~detector ~network outcomes));
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote churn summary to %s\n" path);
+  let total_events =
+    List.fold_left
+      (fun a (o : Eval.Churn.outcome) -> a + o.Eval.Churn.events)
+      0 outcomes
+  in
+  Printf.printf "timing: churn wall %.3f s (%d lifecycle events, %.0f events/s)\n"
+    wall total_events
+    (float_of_int total_events /. wall);
+  let violations = Eval.Churn.total_violations outcomes in
+  if violations > 0 then begin
+    Printf.eprintf "churn: %d monitor violation(s) during fault episodes\n"
+      violations;
+    exit 1
+  end;
+  match max_blocking with
+  | Some cap ->
+    List.iter
+      (fun o ->
+        if o.Eval.Churn.blocking > cap then begin
+          Printf.eprintf
+            "churn: blocking %.2f%% at offered %.1f E/node exceeds \
+             --max-blocking %.2f%%\n"
+            o.Eval.Churn.blocking o.Eval.Churn.offered cap;
+          exit 1
+        end)
+      outcomes
+  | None -> ()
+
+let churn_cmd =
+  let doc =
+    "Steady-state churn engine: Poisson arrivals with exponential holding \
+     times at a ladder of offered loads, streamed through admission and \
+     teardown with transient audited fault episodes in between \
+     (--fault-every). Reports blocking probability, R_fast under churn, \
+     disruption percentiles and mux-table pressure per time window; --json \
+     writes schema bcp-churn/v1, byte-identical for every --jobs. Exit 1 \
+     on any monitor violation or a --max-blocking breach."
+  in
+  Cmd.v
+    (Cmd.info "churn" ~doc)
+    Term.(
+      const (fun n s e off h bw b fe hz w d mb m t j jobs ->
+          run_churn n s e off h bw b fe hz w d mb m t j jobs)
+      $ network_arg $ seed_arg $ events_arg $ offered_arg $ holding_arg
+      $ churn_bandwidth_arg $ backups_arg $ fault_every_arg $ horizon_arg
+      $ windows_arg $ detector_arg $ max_blocking_arg $ metrics_arg
+      $ trace_out_arg $ churn_json_arg $ jobs_arg)
+
 let run_markov ctx () =
   let rows = Eval.Reliability_cmp.compute ~hops:[ 1; 2; 4; 7; 10; 14 ] () in
   emit ctx (Eval.Reliability_cmp.report rows)
@@ -874,6 +1089,7 @@ let () =
             chaos_cmd;
             audit_cmd;
             swarm_cmd;
+            churn_cmd;
             all_cmd;
           ])
   in

@@ -105,6 +105,8 @@ let emit t ev =
       c "mux.updates" [ ("op", Sim.Event.mux_op_to_string op) ]
     | Sim.Event.Fault { up; _ } ->
       c "faults" [ ("dir", if up then "repair" else "fail") ]
+    | Sim.Event.Lifecycle { op; _ } ->
+      c "workload.lifecycle" [ ("op", Sim.Event.lifecycle_op_to_string op) ]
   end
 
 let chan_state_ev = function

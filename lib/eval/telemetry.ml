@@ -99,6 +99,12 @@ let event_to_json ev =
         ("id", Json.Int id);
         ("up", Json.Bool up);
       ]
+    | Sim.Event.Lifecycle { conn; op; active } ->
+      [
+        ("conn", Json.Int conn);
+        ("op", Json.String (Sim.Event.lifecycle_op_to_string op));
+        ("active", Json.Int active);
+      ]
   in
   Json.Obj (("type", Json.String tag) :: fields)
 
@@ -156,6 +162,11 @@ let event_of_json j =
       | _ -> Error (Printf.sprintf "unknown component kind %S" kind)
     in
     Ok (Sim.Event.Fault { component; up })
+  | "lifecycle" ->
+    let* conn = int_field "conn" j in
+    let* op = enum_field "op" Sim.Event.lifecycle_op_of_string j in
+    let* active = int_field "active" j in
+    Ok (Sim.Event.Lifecycle { conn; op; active })
   | _ -> Error (Printf.sprintf "unknown event type %S" tag)
 
 (* ---------- event-log exporters ---------- *)
@@ -227,7 +238,7 @@ let event_tid = function
   | Sim.Event.Rejoin_timer { node; _ } ->
     node
   | Sim.Event.Rcc { link; _ } | Sim.Event.Mux { link; _ } -> link
-  | Sim.Event.Reconfig { conn; _ } -> conn
+  | Sim.Event.Reconfig { conn; _ } | Sim.Event.Lifecycle { conn; _ } -> conn
   | Sim.Event.Fault { component = Sim.Event.Node v; _ } -> v
   | Sim.Event.Fault { component = Sim.Event.Link l; _ } -> l
 

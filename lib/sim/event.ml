@@ -52,6 +52,23 @@ let timer_op_of_string = function
   | "expired" -> Some Expired
   | _ -> None
 
+type lifecycle_op = Arrive | Admit | Block | Depart | Readmit
+
+let lifecycle_op_to_string = function
+  | Arrive -> "arrive"
+  | Admit -> "admit"
+  | Block -> "block"
+  | Depart -> "depart"
+  | Readmit -> "readmit"
+
+let lifecycle_op_of_string = function
+  | "arrive" -> Some Arrive
+  | "admit" -> Some Admit
+  | "block" -> Some Block
+  | "depart" -> Some Depart
+  | "readmit" -> Some Readmit
+  | _ -> None
+
 type mux_op = Register | Unregister
 
 let mux_op_to_string = function
@@ -80,6 +97,7 @@ type t =
   | Reconfig of { conn : int; action : string }
   | Mux of { link : int; backup : int; op : mux_op; pi : int; psi : int }
   | Fault of { component : component; up : bool }
+  | Lifecycle of { conn : int; op : lifecycle_op; active : int }
 
 let type_tag = function
   | Chan_transition _ -> "chan"
@@ -90,6 +108,7 @@ let type_tag = function
   | Reconfig _ -> "reconfig"
   | Mux _ -> "mux"
   | Fault _ -> "fault"
+  | Lifecycle _ -> "lifecycle"
 
 let pp ppf = function
   | Chan_transition { node; channel; from_; to_; cause } ->
@@ -117,5 +136,8 @@ let pp ppf = function
       match component with Node v -> ("node", v) | Link l -> ("link", l)
     in
     Format.fprintf ppf "fault(%s=%d, %s)" kind id (if up then "up" else "down")
+  | Lifecycle { conn; op; active } ->
+    Format.fprintf ppf "lifecycle(conn=%d, %s, active=%d)" conn
+      (lifecycle_op_to_string op) active
 
 let to_string ev = Format.asprintf "%a" pp ev

@@ -42,6 +42,16 @@ type mux_op = Register | Unregister
 val mux_op_to_string : mux_op -> string
 val mux_op_of_string : string -> mux_op option
 
+(** Connection-lifecycle steps emitted by the churn workload driver:
+    [Arrive] = an admission request hit the network, [Admit]/[Block] =
+    its outcome, [Depart] = a holding time expired and the connection was
+    torn down, [Readmit] = a connection displaced by a failure was
+    re-established under a fresh id. *)
+type lifecycle_op = Arrive | Admit | Block | Depart | Readmit
+
+val lifecycle_op_to_string : lifecycle_op -> string
+val lifecycle_op_of_string : string -> lifecycle_op option
+
 type component = Node of int | Link of int
 
 type t =
@@ -66,10 +76,13 @@ type t =
       (** multiplexing-table update with the resulting |Π| and |Ψ| of the
           backup on that link *)
   | Fault of { component : component; up : bool }
+  | Lifecycle of { conn : int; op : lifecycle_op; active : int }
+      (** connection-lifecycle step from the churn driver, with the
+          number of connections active after the step *)
 
 val type_tag : t -> string
 (** Stable constructor tag: "chan", "rcc", "detector", "activation",
-    "rejoin-timer", "reconfig", "mux", "fault". *)
+    "rejoin-timer", "reconfig", "mux", "fault", "lifecycle". *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

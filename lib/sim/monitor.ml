@@ -498,6 +498,8 @@ let feed t ~time ev =
   | Event.Detector { signal; _ } ->
     cover t ("det:" ^ Event.detector_signal_to_string signal)
   | Event.Reconfig { action; _ } -> cover t ("reconfig:" ^ action)
+  | Event.Lifecycle { op; _ } ->
+    cover t ("life:" ^ Event.lifecycle_op_to_string op)
 
 (* One letter per recovery phase a timeline reached: F(ault) D(etect)
    R(eport) A(ctivate) S(witch); "-" for a phase never observed. *)

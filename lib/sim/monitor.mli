@@ -151,7 +151,8 @@ val coverage : t -> string list
       with this phase signature (one letter per phase reached, ["-"]
       for a phase never observed; only populated by {!finish});
     - ["rcc:<op>"], ["det:<signal>"], ["timer:<op>"], ["mux:<op>"],
-      ["reconfig:<action>"] — event families the monitor does not
-      invariant-check per se, but whose occurrence distinguishes
-      behaviours (a retransmission, a heartbeat confirm, a rejoin-timer
-      expiry, a replacement-failed reconfiguration...). *)
+      ["reconfig:<action>"], ["life:<op>"] — event families the monitor
+      does not invariant-check per se, but whose occurrence
+      distinguishes behaviours (a retransmission, a heartbeat confirm,
+      a rejoin-timer expiry, a replacement-failed reconfiguration, a
+      blocked churn arrival...). *)

@@ -1,0 +1,126 @@
+type params = {
+  offered : float;
+  mean_holding : float;
+  bandwidth : float;
+  hop_slack : int;
+  backups : int;
+  mux_degree : int;
+}
+
+let make_params ?(mean_holding = 60.0) ?(bandwidth = 1.0) ?(hop_slack = 2)
+    ?(backups = 1) ?(mux_degree = 1) ~offered () =
+  if offered <= 0.0 then invalid_arg "Churn.make_params: offered must be > 0";
+  if mean_holding <= 0.0 then
+    invalid_arg "Churn.make_params: mean_holding must be > 0";
+  if bandwidth <= 0.0 then
+    invalid_arg "Churn.make_params: bandwidth must be > 0";
+  { offered; mean_holding; bandwidth; hop_slack; backups; mux_degree }
+
+type event =
+  | Arrival of { at : float; conn : int; request : Generator.request }
+  | Departure of { at : float; conn : int }
+
+type departure = { dep_at : float; dep_conn : int }
+
+(* Keyed by time then conn id so simultaneous departures (measure-zero
+   with float exponentials, but cheap to make total) pop in a fixed
+   order. *)
+let dep_cmp a b =
+  let c = Float.compare a.dep_at b.dep_at in
+  if c <> 0 then c else Int.compare a.dep_conn b.dep_conn
+
+type t = {
+  rng : Sim.Prng.t;
+  topo : Net.Topology.t;
+  params : params;
+  arrival_rate : float;
+  departures : departure Sim.Heap.t;
+  mutable next_arrival_at : float;
+  mutable next_conn : int;
+  mutable clock : float;
+  mutable active_count : int;
+  mutable emitted_count : int;
+}
+
+let arrival_rate_of topo params =
+  let nodes = float_of_int (Net.Topology.num_nodes topo) in
+  params.offered *. nodes /. params.mean_holding
+
+let create ?(seed = 0) topo params =
+  let rng = Sim.Prng.create seed in
+  let arrival_rate = arrival_rate_of topo params in
+  {
+    rng;
+    topo;
+    params;
+    arrival_rate;
+    departures = Sim.Heap.create ~cmp:dep_cmp;
+    next_arrival_at = Sim.Prng.exponential rng ~mean:(1.0 /. arrival_rate);
+    next_conn = 0;
+    clock = 0.0;
+    active_count = 0;
+    emitted_count = 0;
+  }
+
+let arrival_rate t = t.arrival_rate
+let now t = t.clock
+let active t = t.active_count
+let emitted t = t.emitted_count
+
+let fresh_conn t =
+  let id = t.next_conn in
+  t.next_conn <- id + 1;
+  id
+
+let draw_request t =
+  let p = t.params in
+  let src, dst =
+    Generator.distinct_pair t.rng (Net.Topology.num_nodes t.topo)
+  in
+  {
+    Generator.src;
+    dst;
+    traffic = Rtchan.Traffic.of_bandwidth p.bandwidth;
+    qos = Rtchan.Qos.make ~hop_slack:p.hop_slack ();
+    mux_degree = p.mux_degree;
+    backups = p.backups;
+  }
+
+(* The next-arrival time is pre-drawn but the request itself is drawn at
+   pop time, so the PRNG consumption order is exactly the emission order
+   of the merged stream: one stream, one deterministic sequence. *)
+let pop_arrival t =
+  let at = t.next_arrival_at in
+  let request = draw_request t in
+  t.next_arrival_at <-
+    at +. Sim.Prng.exponential t.rng ~mean:(1.0 /. t.arrival_rate);
+  let conn = fresh_conn t in
+  t.clock <- at;
+  t.emitted_count <- t.emitted_count + 1;
+  Arrival { at; conn; request }
+
+let pop_departure t d =
+  ignore (Sim.Heap.pop t.departures);
+  t.clock <- d.dep_at;
+  t.active_count <- t.active_count - 1;
+  t.emitted_count <- t.emitted_count + 1;
+  Departure { at = d.dep_at; conn = d.dep_conn }
+
+let next t =
+  match Sim.Heap.peek t.departures with
+  | Some d when d.dep_at <= t.next_arrival_at -> pop_departure t d
+  | Some _ | None -> pop_arrival t
+
+let admit t ~conn =
+  let hold = Sim.Prng.exponential t.rng ~mean:t.params.mean_holding in
+  Sim.Heap.push t.departures { dep_at = t.clock +. hold; dep_conn = conn };
+  t.active_count <- t.active_count + 1
+
+let drain t =
+  match Sim.Heap.pop t.departures with
+  | None -> None
+  | Some d ->
+    t.clock <- d.dep_at;
+    t.active_count <- t.active_count - 1;
+    t.emitted_count <- t.emitted_count + 1;
+    Some (Departure { at = d.dep_at; conn = d.dep_conn })

@@ -1,0 +1,84 @@
+(** Streaming connection-lifecycle driver: Poisson arrivals with
+    exponential holding times at a fixed offered load.
+
+    The evaluations inherited from the paper establish a fixed batch of
+    D-connections and then inject failures; production traffic is churn.
+    This module generates an M/M/∞-shaped lifecycle stream — the *caller*
+    (an admission policy such as {!Bcp.Establish}) decides which arrivals
+    are admitted, so the carried load emerges from blocking rather than
+    being scripted.
+
+    Protocol: call {!next} to get the next lifecycle event.  On an
+    [Arrival], attempt admission; if it succeeds, call {!admit} with the
+    arrival's conn id (this draws the exponential holding time and
+    schedules the matching [Departure]).  Blocked arrivals are simply
+    never admitted and produce no departure.  On a [Departure], tear the
+    connection down.  {!fresh_conn} mints ids for out-of-band
+    re-admissions (e.g. a connection displaced by an unrecoverable
+    failure re-entering under a new id).
+
+    Determinism: one SplitMix64 stream drives everything, and draws
+    happen in emission order (arrival times are pre-drawn one step ahead;
+    requests are drawn at pop time; holding times are drawn only for
+    *admitted* connections, at {!admit} time).  Two drivers created with
+    the same seed and fed the same admit/reject decisions emit identical
+    streams. *)
+
+type params = {
+  offered : float;  (** offered load per node, in Erlangs (λ/μ per node) *)
+  mean_holding : float;  (** mean holding time 1/μ, in sim seconds *)
+  bandwidth : float;  (** per-connection bandwidth, Mbps *)
+  hop_slack : int;
+  backups : int;
+  mux_degree : int;
+}
+
+val make_params :
+  ?mean_holding:float ->
+  ?bandwidth:float ->
+  ?hop_slack:int ->
+  ?backups:int ->
+  ?mux_degree:int ->
+  offered:float ->
+  unit ->
+  params
+(** Defaults: holding 60 s, 1 Mbps, slack 2, 1 backup, mux degree 1.
+    @raise Invalid_argument if [offered], [mean_holding] or [bandwidth]
+    is not positive. *)
+
+type event =
+  | Arrival of { at : float; conn : int; request : Generator.request }
+  | Departure of { at : float; conn : int }
+
+type t
+
+val create : ?seed:int -> Net.Topology.t -> params -> t
+(** A fresh driver at sim time 0 with no active connections. *)
+
+val arrival_rate : t -> float
+(** Aggregate Poisson arrival rate λ = offered × nodes / mean_holding,
+    in connections per sim second. *)
+
+val next : t -> event
+(** The next lifecycle event in time order (ties break toward the
+    departure).  Advances the driver's clock. *)
+
+val admit : t -> conn:int -> unit
+(** Record that [conn] (the id of the last [Arrival]) was admitted:
+    draws its holding time and schedules its [Departure]. *)
+
+val fresh_conn : t -> int
+(** Mint a new connection id (for re-admission after displacement). *)
+
+val drain : t -> event option
+(** Pop the earliest pending departure, ignoring future arrivals; [None]
+    once no connections remain active.  Used to wind a run down. *)
+
+val now : t -> float
+(** Sim time of the last emitted event. *)
+
+val active : t -> int
+(** Connections admitted and not yet departed. *)
+
+val emitted : t -> int
+(** Total lifecycle events emitted so far (arrivals + departures). *)

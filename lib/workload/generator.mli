@@ -34,6 +34,9 @@ val with_mux_mix : degrees:int list -> request list -> request list
 val with_bandwidth_mix : Sim.Prng.t -> choices:float list -> request list -> request list
 (** Each request draws its bandwidth uniformly from [choices]. *)
 
+val distinct_pair : Sim.Prng.t -> int -> int * int
+(** Uniform ordered pair of distinct node ids in \[0, n). *)
+
 val random_pairs :
   Sim.Prng.t ->
   ?bandwidth:float ->
