@@ -1,6 +1,6 @@
 (* Benchmark comparison gate.
 
-   Usage: compare BASELINE.json FRESH.json [--timing-tolerance PCT]
+   Usage: compare BASELINE.json FRESH.json [--tolerance PCT]
 
    Diffs a fresh bcp-bench/v1 results file against a committed baseline:
 
@@ -27,7 +27,8 @@ let fail fmt =
 
 let usage () =
   prerr_endline
-    "usage: compare BASELINE.json FRESH.json [--timing-tolerance PCT]";
+    "usage: compare BASELINE.json FRESH.json [--tolerance PCT]\n\
+  (--timing-tolerance is accepted as an alias)";
   exit 2
 
 let load path =
@@ -125,7 +126,7 @@ let () =
   let positional = ref [] in
   let rec parse = function
     | [] -> ()
-    | "--timing-tolerance" :: v :: rest ->
+    | ("--tolerance" | "--timing-tolerance") :: v :: rest ->
       (match float_of_string_opt v with
       | Some p when p >= 0.0 -> tolerance := p /. 100.0
       | _ -> usage ());

@@ -211,6 +211,7 @@ let scaling_tiers =
     ("4x4 torus", Eval.Setup.Torus4);
     ("8x8 torus", Eval.Setup.Torus8);
     ("16x16 torus", Eval.Setup.Torus16);
+    ("64x64 torus", Eval.Setup.Torus64);
   ]
 
 (* The link carrying the most backups, and a synthetic candidate whose
@@ -232,8 +233,12 @@ let busiest_link_candidate ns =
 let scaling () =
   let seed = !seed in
   hr "SCALING: establishment at fixed per-node load (8 req/node, mux=3)";
+  (* Tiers run serially (not through the pool): the 64x64 tier dominates
+     wall time, and establishment itself shards across the pool's domains
+     inside each tier (see [Eval.Setup.establish_all]) — which it could
+     not do from inside a pool task, where nested maps run inline. *)
   let runs =
-    Sim.Pool.map
+    List.map
       (fun (label, net) ->
         let t0 = Unix.gettimeofday () in
         let est = Eval.Setup.build_scaled ~seed ~backups:1 ~mux_degree:3 net in

@@ -75,6 +75,52 @@ val establish_with_reliability :
 (** Negotiated scheme; returns the connection and its achieved P_r.
     [max_backups] defaults to 3. *)
 
+(** {1 Speculative establishment}
+
+    Sharded admission for bulk workloads ({!Eval.Setup.establish_all}):
+    planner domains dry-run establishment against a frozen network state
+    with {!plan}, and a serial merge replays each plan with {!try_commit}
+    in request order.  A plan records every admission probe of a link's
+    mutable state together with its boolean verdict and the link's
+    version (see [Netstate.link_version]) at plan time; {!try_commit}
+    replays it only when every verdict still holds — version-unchanged
+    links trivially, the rest by recomputing the single probe against
+    the live tables.  Under [Min_hops] routing the search outcome is a
+    deterministic function of the topology, the avoid set and these
+    verdicts, so unchanged verdicts guarantee the serial searches would
+    reproduce the planned paths — the merged result stream is
+    byte-identical to a purely sequential run. *)
+
+type planned_backup = {
+  pb_serial : int;
+  pb_path : Net.Path.t;
+  pb_nu : float;
+}
+
+type plan_reads
+(** Packed per-search probe log: for every admission probe, the link,
+    its version at plan time, and the boolean verdict. *)
+
+type plan = {
+  plan_conn_id : int;
+  plan_request : request;
+  plan_outcome : (Net.Path.t * planned_backup list, reject) result;
+  plan_reads : plan_reads;
+}
+
+val plan : Netstate.t -> conn_id:int -> request -> plan
+(** Dry-run [establish] without reserving anything or consuming any ids.
+    Safe to call concurrently from several domains as long as nothing
+    mutates the network state meanwhile.  Only the default routing
+    configuration is planned (no tie-break PRNG, [Min_hops] backups). *)
+
+val try_commit : Netstate.t -> plan -> (Dconn.t, reject) result option
+(** Replay a plan against the live state.  [Some result] when the plan
+    was still valid and has been committed (or its primary rejection
+    confirmed); [None] when the caller must fall back to the serial
+    {!establish} (stale reads, or an outcome whose serial execution
+    consumes ids). *)
+
 val achieved_pr : Netstate.t -> Dconn.t -> float
 (** Combinatorial P_r of an established connection from the live
     multiplexing tables (uses the P_muxf upper bound, so this is a lower

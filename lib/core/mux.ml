@@ -74,21 +74,35 @@ let shared_count_bitset a b =
 
 module Iset = Set.Make (Int)
 
-type entry = {
-  info : backup_info;
-  bits : int array option;  (* component bitset; None -> merge-scan fallback *)
-  mutable pi : Iset.t;  (* ids of non-multiplexable backups, ν_j ≤ ν_i *)
-  mutable pi_bw : float;  (* cached Σ bw over pi *)
-  mutable gen : int;  (* bumped whenever the contribution changes *)
-}
-
-(* Lazy-deletion max-heap item: an item is live iff the entry still exists
-   and its generation matches (its contribution has not changed since the
-   push). *)
+(* Lazy-deletion max-heap item: an item is live iff the backup is still
+   registered in the slot and its generation matches (its contribution has
+   not changed since the push). *)
 type heap_item = { hc : float; hbid : int; hgen : int }
 
+(* Per-link table, structure-of-arrays: each registered backup occupies a
+   slot; parallel arrays hold the admission-scan hot fields (ν, bw, cached
+   Π bandwidth) so the inner loops walk flat memory instead of chasing
+   hashtable buckets.  [bids.(s) = -1] marks a free slot; freed slots are
+   recycled LIFO so the live region stays dense under churn.  [index] maps
+   a backup id to its slot — ids are network-global and sparse on any one
+   link, so lookups stay a hashtable while all per-entry state is flat. *)
 type link_table = {
-  entries : (int, entry) Hashtbl.t; (* backup id -> entry *)
+  mutable n : int; (* slot watermark: slots in [0, n) exist *)
+  mutable bids : int array; (* -1 = free *)
+  mutable conns : int array;
+  mutable serials : int array;
+  mutable nus : float array;
+  mutable bws : float array;
+  mutable pi_bws : float array; (* cached Σ bw over Π *)
+  mutable gens : int array; (* bumped when the contribution changes *)
+  mutable comps : int array array; (* sorted encoded primary components *)
+  mutable bits : int array option array; (* None -> merge-scan fallback *)
+  mutable pis : Ids.Ivec.t array; (* Π as an ascending-sorted bid vector *)
+  index : (int, int) Hashtbl.t; (* backup id -> slot *)
+  mutable free : int array;
+  mutable free_len : int;
+  mutable live : int; (* registered backups *)
+  mutable sum_bw : float; (* Σ bw over registered backups (exact) *)
   mutable requirement : float; (* cached spare requirement *)
   heap : heap_item Sim.Heap.t; (* contributions, max on top *)
   mutable gen_counter : int;
@@ -119,14 +133,36 @@ let create topo ~lambda =
     tables =
       Array.init (Net.Topology.num_links topo) (fun _ ->
           {
-            entries = Hashtbl.create 16;
+            n = 0;
+            bids = [||];
+            conns = [||];
+            serials = [||];
+            nus = [||];
+            bws = [||];
+            pi_bws = [||];
+            gens = [||];
+            comps = [||];
+            bits = [||];
+            pis = [||];
+            index = Hashtbl.create 16;
+            free = [||];
+            free_len = 0;
+            live = 0;
+            sum_bw = 0.0;
             requirement = 0.0;
             heap = Sim.Heap.create ~cmp:(fun x y -> Float.compare y.hc x.hc);
             gen_counter = 0;
           });
     lambda;
     sink = None;
-    pows = Array.make 64 Float.nan;
+    (* Pre-sized so concurrent read-only probes (the speculative
+       establishment planners) never race a growth of the memo table: the
+       exponent is bounded by the component count of two paths, at most
+       2·(2·nodes+1). *)
+    pows =
+      Array.make
+        (max 64 ((4 * Net.Topology.num_nodes topo) + 8))
+        Float.nan;
     scache = Hashtbl.create 1024;
     reg_count = Hashtbl.create 256;
     retired = Iset.empty;
@@ -190,19 +226,17 @@ let s_value_raw t a_comps a_bits b_comps b_bits =
 (* Cached S for a registered (or being-registered) pair.  The stored
    component arrays are compared physically: a backup id recycled with a
    different primary can never see a stale value. *)
-let s_between t a b =
-  let ia = a.info and ib = b.info in
+let s_between_slots t tab ~a_bid ~a_comps ~a_bits ~b_slot =
+  let b_bid = tab.bids.(b_slot) in
+  let b_comps = tab.comps.(b_slot) in
   let lo_comps, hi_comps =
-    if ia.backup <= ib.backup then (ia.primary_components, ib.primary_components)
-    else (ib.primary_components, ia.primary_components)
+    if a_bid <= b_bid then (a_comps, b_comps) else (b_comps, a_comps)
   in
-  let key = (min ia.backup ib.backup, max ia.backup ib.backup) in
+  let key = (min a_bid b_bid, max a_bid b_bid) in
   match Hashtbl.find_opt t.scache key with
   | Some c when c.ca == lo_comps && c.cb == hi_comps -> c.s
   | _ ->
-    let s =
-      s_value_raw t ia.primary_components a.bits ib.primary_components b.bits
-    in
+    let s = s_value_raw t a_comps a_bits b_comps tab.bits.(b_slot) in
     if Hashtbl.length t.scache > 2_000_000 then Hashtbl.reset t.scache;
     Hashtbl.replace t.scache key { ca = lo_comps; cb = hi_comps; s };
     s
@@ -211,16 +245,17 @@ let s_between t a b =
    never multiplexed together (both activate when the primary dies).
    b belongs to Π(a) iff ν_b ≤ ν_a and (same conn or S ≥ ν_a). *)
 
-let contribution e = e.info.bw +. e.pi_bw
+let contribution tab s = tab.bws.(s) +. tab.pi_bws.(s)
 
 (* The pre-optimization full-table scan, kept as the debug-mode reference
    for the incremental requirement (see {!set_self_check}). *)
 let reference_requirement t ~link =
   let tab = table t link in
   let req = ref 0.0 in
-  Hashtbl.iter
-    (fun _ e -> if contribution e > !req then req := contribution e)
-    tab.entries;
+  for s = 0 to tab.n - 1 do
+    if tab.bids.(s) >= 0 && contribution tab s > !req then
+      req := contribution tab s
+  done;
   !req
 
 (* Drop stale heap tops, refresh the cached requirement from the live
@@ -230,19 +265,21 @@ let settle tab =
     match Sim.Heap.peek tab.heap with
     | None -> tab.requirement <- 0.0
     | Some it -> (
-      match Hashtbl.find_opt tab.entries it.hbid with
-      | Some e when e.gen = it.hgen -> tab.requirement <- Float.max 0.0 it.hc
+      match Hashtbl.find_opt tab.index it.hbid with
+      | Some s when tab.gens.(s) = it.hgen ->
+        tab.requirement <- Float.max 0.0 it.hc
       | _ ->
         ignore (Sim.Heap.pop tab.heap);
         top ())
   in
   top ();
-  if Sim.Heap.length tab.heap > (2 * Hashtbl.length tab.entries) + 64 then begin
+  if Sim.Heap.length tab.heap > (2 * tab.live) + 64 then begin
     Sim.Heap.clear tab.heap;
-    Hashtbl.iter
-      (fun bid e ->
-        Sim.Heap.push tab.heap { hc = contribution e; hbid = bid; hgen = e.gen })
-      tab.entries
+    for s = 0 to tab.n - 1 do
+      if tab.bids.(s) >= 0 then
+        Sim.Heap.push tab.heap
+          { hc = contribution tab s; hbid = tab.bids.(s); hgen = tab.gens.(s) }
+    done
   end
 
 let verify t tab ~link =
@@ -258,8 +295,9 @@ let next_gen tab =
   tab.gen_counter <- tab.gen_counter + 1;
   tab.gen_counter
 
-let push_contribution tab bid e =
-  Sim.Heap.push tab.heap { hc = contribution e; hbid = bid; hgen = e.gen }
+let push_contribution tab s =
+  Sim.Heap.push tab.heap
+    { hc = contribution tab s; hbid = tab.bids.(s); hgen = tab.gens.(s) }
 
 let note_registered t bid =
   Hashtbl.replace t.reg_count bid
@@ -289,73 +327,136 @@ let note_unregistered t bid =
       t.retired <- Iset.empty
     end
 
+let grow_table tab =
+  let cap = Array.length tab.bids in
+  let ncap = max 8 (2 * cap) in
+  let gi default a =
+    let na = Array.make ncap default in
+    Array.blit a 0 na 0 cap;
+    na
+  in
+  tab.bids <- gi (-1) tab.bids;
+  tab.conns <- gi 0 tab.conns;
+  tab.serials <- gi 0 tab.serials;
+  tab.nus <- gi 0.0 tab.nus;
+  tab.bws <- gi 0.0 tab.bws;
+  tab.pi_bws <- gi 0.0 tab.pi_bws;
+  tab.gens <- gi 0 tab.gens;
+  tab.comps <- gi [||] tab.comps;
+  tab.bits <- gi None tab.bits;
+  let npis = Array.make ncap (Ids.Ivec.create ()) in
+  Array.blit tab.pis 0 npis 0 cap;
+  for i = cap to ncap - 1 do
+    npis.(i) <- Ids.Ivec.create ()
+  done;
+  tab.pis <- npis
+
+let alloc_slot tab =
+  if tab.free_len > 0 then begin
+    tab.free_len <- tab.free_len - 1;
+    tab.free.(tab.free_len)
+  end
+  else begin
+    if tab.n = Array.length tab.bids then grow_table tab;
+    let s = tab.n in
+    tab.n <- tab.n + 1;
+    s
+  end
+
+let free_slot tab s =
+  tab.bids.(s) <- -1;
+  tab.comps.(s) <- [||];
+  tab.bits.(s) <- None;
+  Ids.Ivec.clear tab.pis.(s);
+  if tab.free_len = Array.length tab.free then begin
+    let nf = Array.make (max 8 (2 * tab.free_len)) 0 in
+    Array.blit tab.free 0 nf 0 tab.free_len;
+    tab.free <- nf
+  end;
+  tab.free.(tab.free_len) <- s;
+  tab.free_len <- tab.free_len + 1
+
 let register t ~link info =
   let tab = table t link in
-  if Hashtbl.mem tab.entries info.backup then
+  if Hashtbl.mem tab.index info.backup then
     invalid_arg
       (Printf.sprintf "Mux.register: backup %d already on link %d" info.backup
          link);
-  let fresh =
-    {
-      info;
-      bits = bitset_of_components info.primary_components;
-      pi = Iset.empty;
-      pi_bw = 0.0;
-      gen = next_gen tab;
-    }
-  in
-  Hashtbl.iter
-    (fun _ e ->
-      let ei = e.info in
+  let slot = alloc_slot tab in
+  tab.bids.(slot) <- info.backup;
+  tab.conns.(slot) <- info.conn;
+  tab.serials.(slot) <- info.serial;
+  tab.nus.(slot) <- info.nu;
+  tab.bws.(slot) <- info.bw;
+  tab.pi_bws.(slot) <- 0.0;
+  tab.gens.(slot) <- next_gen tab;
+  tab.comps.(slot) <- info.primary_components;
+  tab.bits.(slot) <- bitset_of_components info.primary_components;
+  let fresh_pi = tab.pis.(slot) in
+  let a_bits = tab.bits.(slot) in
+  for s = 0 to tab.n - 1 do
+    if s <> slot && tab.bids.(s) >= 0 then begin
       (* Both Π directions share one S computation; the short-circuits are
          those of the original [conflicts] predicate. *)
       let computed = ref false and sv = ref 0.0 in
       let s_val () =
         if not !computed then begin
-          sv := s_between t fresh e;
+          sv :=
+            s_between_slots t tab ~a_bid:info.backup
+              ~a_comps:info.primary_components ~a_bits ~b_slot:s;
           computed := true
         end;
         !sv
       in
-      if ei.nu <= info.nu && (info.conn = ei.conn || s_val () >= info.nu)
+      if
+        tab.nus.(s) <= info.nu
+        && (info.conn = tab.conns.(s) || s_val () >= info.nu)
       then begin
-        fresh.pi <- Iset.add ei.backup fresh.pi;
-        fresh.pi_bw <- fresh.pi_bw +. ei.bw
+        Ids.Ivec.insert_sorted fresh_pi tab.bids.(s);
+        tab.pi_bws.(slot) <- tab.pi_bws.(slot) +. tab.bws.(s)
       end;
-      if info.nu <= ei.nu && (ei.conn = info.conn || s_val () >= ei.nu)
+      if
+        info.nu <= tab.nus.(s)
+        && (tab.conns.(s) = info.conn || s_val () >= tab.nus.(s))
       then begin
-        e.pi <- Iset.add info.backup e.pi;
-        e.pi_bw <- e.pi_bw +. info.bw;
-        e.gen <- next_gen tab;
-        push_contribution tab ei.backup e
-      end)
-    tab.entries;
-  Hashtbl.add tab.entries info.backup fresh;
-  push_contribution tab info.backup fresh;
+        Ids.Ivec.insert_sorted tab.pis.(s) info.backup;
+        tab.pi_bws.(s) <- tab.pi_bws.(s) +. info.bw;
+        tab.gens.(s) <- next_gen tab;
+        push_contribution tab s
+      end
+    end
+  done;
+  Hashtbl.add tab.index info.backup slot;
+  tab.live <- tab.live + 1;
+  tab.sum_bw <- tab.sum_bw +. info.bw;
+  push_contribution tab slot;
   settle tab;
   note_registered t info.backup;
   if t.self_check then verify t tab ~link;
   emit t ~link ~backup:info.backup ~op:Sim.Event.Register
-    ~pi:(Iset.cardinal fresh.pi)
-    ~psi:(Hashtbl.length tab.entries - Iset.cardinal fresh.pi - 1)
+    ~pi:(Ids.Ivec.length fresh_pi)
+    ~psi:(tab.live - Ids.Ivec.length fresh_pi - 1)
 
 let unregister t ~link ~backup =
   let tab = table t link in
-  match Hashtbl.find_opt tab.entries backup with
+  match Hashtbl.find_opt tab.index backup with
   | None -> ()
   | Some victim ->
-    let pi = Iset.cardinal victim.pi in
-    let psi = Hashtbl.length tab.entries - pi - 1 in
-    Hashtbl.remove tab.entries backup;
-    Hashtbl.iter
-      (fun bid e ->
-        if Iset.mem backup e.pi then begin
-          e.pi <- Iset.remove backup e.pi;
-          e.pi_bw <- e.pi_bw -. victim.info.bw;
-          e.gen <- next_gen tab;
-          push_contribution tab bid e
-        end)
-      tab.entries;
+    let vbw = tab.bws.(victim) in
+    let pi = Ids.Ivec.length tab.pis.(victim) in
+    let psi = tab.live - pi - 1 in
+    Hashtbl.remove tab.index backup;
+    tab.live <- tab.live - 1;
+    tab.sum_bw <- tab.sum_bw -. vbw;
+    free_slot tab victim;
+    for s = 0 to tab.n - 1 do
+      if tab.bids.(s) >= 0 && Ids.Ivec.mem_sorted tab.pis.(s) backup then begin
+        Ids.Ivec.remove_sorted tab.pis.(s) backup;
+        tab.pi_bws.(s) <- tab.pi_bws.(s) -. vbw;
+        tab.gens.(s) <- next_gen tab;
+        push_contribution tab s
+      end
+    done;
     settle tab;
     note_unregistered t backup;
     if t.self_check then verify t tab ~link;
@@ -363,91 +464,122 @@ let unregister t ~link ~backup =
 
 let spare_requirement t ~link = (table t link).requirement
 
+(* Conservative O(1) ceiling on {!required_with}: the candidate's own term
+   is at most bw + Σ bw(registered), and every existing contribution grows
+   by at most bw.  Used by admission fast-accept — when even the ceiling
+   fits the link, the exact scan is skipped (the verdict is the same
+   because the exact requirement is no larger). *)
+let upper_bound t ~link info =
+  let tab = table t link in
+  if Hashtbl.mem tab.index info.backup then tab.requirement
+  else info.bw +. Float.max tab.sum_bw tab.requirement
+
 (* Shared admission scan: what the requirement would become with [info]
-   added.  [s_with e] must return S(info, e) and is invoked at most once
-   per entry; iteration order (and hence float accumulation order) matches
-   the register path exactly. *)
+   added.  [s_with s] must return S(info, slot s) and is invoked at most
+   once per entry. *)
 let admission_scan tab info s_with =
   let own = ref info.bw in
   let req = ref tab.requirement in
-  Hashtbl.iter
-    (fun _ e ->
-      let ei = e.info in
+  for s = 0 to tab.n - 1 do
+    if tab.bids.(s) >= 0 then begin
       let computed = ref false and sv = ref 0.0 in
       let s_val () =
         if not !computed then begin
-          sv := s_with e;
+          sv := s_with s;
           computed := true
         end;
         !sv
       in
-      if ei.nu <= info.nu && (info.conn = ei.conn || s_val () >= info.nu) then
-        own := !own +. ei.bw;
-      if info.nu <= ei.nu && (ei.conn = info.conn || s_val () >= ei.nu)
+      if
+        tab.nus.(s) <= info.nu
+        && (info.conn = tab.conns.(s) || s_val () >= info.nu)
+      then own := !own +. tab.bws.(s);
+      if
+        info.nu <= tab.nus.(s)
+        && (tab.conns.(s) = info.conn || s_val () >= tab.nus.(s))
       then begin
-        let c = contribution e +. info.bw in
+        let c = contribution tab s +. info.bw in
         if c > !req then req := c
-      end)
-    tab.entries;
+      end
+    end
+  done;
   Float.max !own !req
 
 let required_with t ~link info =
   let tab = table t link in
-  if Hashtbl.mem tab.entries info.backup then tab.requirement
+  if Hashtbl.mem tab.index info.backup then tab.requirement
   else begin
     let bits = bitset_of_components info.primary_components in
-    admission_scan tab info (fun e ->
-        s_value_raw t info.primary_components bits e.info.primary_components
-          e.bits)
+    admission_scan tab info (fun s ->
+        s_value_raw t info.primary_components bits tab.comps.(s) tab.bits.(s))
   end
 
+let info_of_slot tab s =
+  {
+    backup = tab.bids.(s);
+    conn = tab.conns.(s);
+    serial = tab.serials.(s);
+    nu = tab.nus.(s);
+    bw = tab.bws.(s);
+    primary_components = tab.comps.(s);
+  }
+
 let on_link t ~link =
-  Hashtbl.fold (fun _ e acc -> e.info :: acc) (table t link).entries []
+  let tab = table t link in
+  let acc = ref [] in
+  for s = tab.n - 1 downto 0 do
+    if tab.bids.(s) >= 0 then acc := info_of_slot tab s :: !acc
+  done;
+  !acc
 
-let mem t ~link ~backup = Hashtbl.mem (table t link).entries backup
+let mem t ~link ~backup = Hashtbl.mem (table t link).index backup
 
-let count_on t ~link = Hashtbl.length (table t link).entries
+let count_on t ~link = (table t link).live
 
-let find_entry t ~link ~backup =
-  match Hashtbl.find_opt (table t link).entries backup with
-  | Some e -> e
+let find_slot t ~link ~backup =
+  match Hashtbl.find_opt (table t link).index backup with
+  | Some s -> s
   | None ->
     invalid_arg (Printf.sprintf "Mux: backup %d not on link %d" backup link)
 
-let pi_size t ~link ~backup = Iset.cardinal (find_entry t ~link ~backup).pi
+let pi_size t ~link ~backup =
+  let tab = table t link in
+  Ids.Ivec.length tab.pis.(find_slot t ~link ~backup)
 
 let psi_size t ~link ~backup =
   let tab = table t link in
-  let e = find_entry t ~link ~backup in
-  Hashtbl.length tab.entries - Iset.cardinal e.pi - 1
+  let s = find_slot t ~link ~backup in
+  tab.live - Ids.Ivec.length tab.pis.(s) - 1
 
 let psi_size_with t ~link info =
   let tab = table t link in
   let bits = bitset_of_components info.primary_components in
   let pi = ref 0 in
-  Hashtbl.iter
-    (fun _ e ->
-      let ei = e.info in
-      if
-        ei.nu <= info.nu
-        && (info.conn = ei.conn
-           || s_value_raw t info.primary_components bits ei.primary_components
-                e.bits
-              >= info.nu)
-      then incr pi)
-    tab.entries;
-  Hashtbl.length tab.entries - !pi
+  for s = 0 to tab.n - 1 do
+    if
+      tab.bids.(s) >= 0
+      && tab.nus.(s) <= info.nu
+      && (info.conn = tab.conns.(s)
+         || s_value_raw t info.primary_components bits tab.comps.(s)
+              tab.bits.(s)
+            >= info.nu)
+    then incr pi
+  done;
+  tab.live - !pi
 
-let conflict_set t ~link ~backup = Iset.elements (find_entry t ~link ~backup).pi
+let conflict_set t ~link ~backup =
+  let tab = table t link in
+  Ids.Ivec.to_sorted_list tab.pis.(find_slot t ~link ~backup)
 
 let max_requirement_victims t ~link =
   let tab = table t link in
   let out = ref [] in
-  Hashtbl.iter
-    (fun id e ->
-      if Float.abs (contribution e -. tab.requirement) < 1e-9 then
-        out := id :: !out)
-    tab.entries;
+  for s = 0 to tab.n - 1 do
+    if
+      tab.bids.(s) >= 0
+      && Float.abs (contribution tab s -. tab.requirement) < 1e-9
+    then out := tab.bids.(s) :: !out
+  done;
   List.sort Int.compare !out
 
 (* ---------------- candidate admission probes ---------------- *)
@@ -483,20 +615,22 @@ let probe_refresh p =
     p.pstamp <- p.pt.stamp
   end
 
-(* S(candidate, e), cached across links while the tables are unchanged; the
-   stored component array is checked physically so an id registered with
-   different primaries on different links cannot alias. *)
-let probe_s p e =
-  let ei = e.info in
-  match Hashtbl.find_opt p.s_memo ei.backup with
-  | Some (comps, s) when comps == ei.primary_components -> s
+(* S(candidate, slot), cached across links while the tables are unchanged;
+   the stored component array is checked physically so an id registered
+   with different primaries on different links cannot alias.  Reads no
+   shared mutable state beyond the slot fields, so concurrent read-only
+   probes on separate domains are safe. *)
+let probe_s p tab s =
+  let bid = tab.bids.(s) in
+  let comps = tab.comps.(s) in
+  match Hashtbl.find_opt p.s_memo bid with
+  | Some (c, sv) when c == comps -> sv
   | _ ->
-    let s =
-      s_value_raw p.pt p.pinfo.primary_components p.pbits ei.primary_components
-        e.bits
+    let sv =
+      s_value_raw p.pt p.pinfo.primary_components p.pbits comps tab.bits.(s)
     in
-    Hashtbl.replace p.s_memo ei.backup (ei.primary_components, s);
-    s
+    Hashtbl.replace p.s_memo bid (comps, sv);
+    sv
 
 let probe_required p ~link =
   probe_refresh p;
@@ -505,11 +639,13 @@ let probe_required p ~link =
   | None ->
     let tab = table p.pt link in
     let r =
-      if Hashtbl.mem tab.entries p.pinfo.backup then tab.requirement
-      else admission_scan tab p.pinfo (probe_s p)
+      if Hashtbl.mem tab.index p.pinfo.backup then tab.requirement
+      else admission_scan tab p.pinfo (probe_s p tab)
     in
     Hashtbl.add p.req_memo link r;
     r
+
+let probe_upper_bound p ~link = upper_bound p.pt ~link p.pinfo
 
 let probe_psi_size p ~link =
   probe_refresh p;
@@ -519,14 +655,13 @@ let probe_psi_size p ~link =
     let tab = table p.pt link in
     let info = p.pinfo in
     let pi = ref 0 in
-    Hashtbl.iter
-      (fun _ e ->
-        let ei = e.info in
-        if
-          ei.nu <= info.nu
-          && (info.conn = ei.conn || probe_s p e >= info.nu)
-        then incr pi)
-      tab.entries;
-    let n = Hashtbl.length tab.entries - !pi in
+    for s = 0 to tab.n - 1 do
+      if
+        tab.bids.(s) >= 0
+        && tab.nus.(s) <= info.nu
+        && (info.conn = tab.conns.(s) || probe_s p tab s >= info.nu)
+      then incr pi
+    done;
+    let n = tab.live - !pi in
     Hashtbl.add p.psi_memo link n;
     n

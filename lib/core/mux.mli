@@ -25,7 +25,14 @@
       lazy-deletion max-heap over per-backup contributions, so
       register/unregister cost O(log n) for the max update instead of a
       full-table rescan (the full recompute survives as a debug-mode
-      reference, see {!set_self_check}).
+      reference, see {!set_self_check});
+    - per-link tables are structure-of-arrays: each registered backup
+      occupies a dense slot and the admission-scan fields (ν, bw, cached
+      Π bandwidth, component bitset) live in parallel flat arrays, so the
+      inner loops walk contiguous memory instead of hashtable buckets;
+    - a per-link running Σbw feeds the O(1) {!upper_bound} ceiling, which
+      lets admission fast-accept skip the exact scan entirely on
+      uncontended links.
 
     All results are bit-identical to the pre-optimization full scans. *)
 
@@ -88,6 +95,15 @@ val required_with : t -> link:int -> backup_info -> float
     establishment inner loop), build a {!probe} instead: it reuses the
     candidate's bitset and pairwise S-values across calls. *)
 
+val upper_bound : t -> link:int -> backup_info -> float
+(** O(1) conservative ceiling on {!required_with}: when the backup is not
+    yet on the link, [bw + max (Σ bw registered) requirement], which is
+    never less than the exact scan's answer; for a registered backup, the
+    current requirement (matching {!required_with}).  Admission can
+    therefore fast-accept on the ceiling and fall back to the exact scan
+    only when the ceiling does not fit — the accept/reject verdict is
+    unchanged. *)
+
 val on_link : t -> link:int -> backup_info list
 val mem : t -> link:int -> backup:int -> bool
 val count_on : t -> link:int -> int
@@ -143,6 +159,9 @@ val probe_info : probe -> backup_info
 val probe_required : probe -> link:int -> float
 (** Same result as {!required_with} for the probe's candidate, memoized
     per link. *)
+
+val probe_upper_bound : probe -> link:int -> float
+(** {!upper_bound} for the probe's candidate (O(1), not memoized). *)
 
 val probe_psi_size : probe -> link:int -> int
 (** Same result as {!psi_size_with} for the probe's candidate, memoized

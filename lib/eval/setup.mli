@@ -1,18 +1,27 @@
 (** Shared experiment scaffolding: the paper's two evaluation networks and
     the standard all-pairs establishment pass (Section 7 preamble). *)
 
-type network = Torus8 | Mesh8 | Torus4 | Mesh4 | Torus16 | Mesh16
+type network =
+  | Torus8 | Mesh8 | Torus4 | Mesh4 | Torus16 | Mesh16 | Torus64 | Mesh64
 
 val topology_of : network -> Net.Topology.t
 (** 8×8 torus with 200 Mbps links or 8×8 mesh with 300 Mbps links (the
     paper's networks), plus capacity-scaled 4×4 variants for the reduced
-    benchmark suite and CI smokes and 16×16 variants for the large-network
-    scaling tier. *)
+    benchmark suite and CI smokes, 16×16 variants for the large-network
+    scaling tier, and 4096-node 64×64 variants for the flat-state
+    benchmark ladder. *)
 
 val network_label : network -> string
 
 val dims : network -> int * int
 (** Grid dimensions (rows, cols). *)
+
+val names : (string * network) list
+(** CLI spellings, e.g. [("torus64", Torus64)] — the single source of
+    truth for [--network] parsing. *)
+
+val of_name : string -> network option
+(** Case-insensitive lookup in {!names}. *)
 
 val pair_count : network -> int
 (** Number of ordered node pairs (4032 on the 8×8 networks). *)
@@ -42,7 +51,15 @@ val establish_all :
     desired), reporting progress every [progress_every] (default 250)
     connections.  [seed] feeds the
     routing tie-breaker; [policy] is only documentation here (the netstate
-    carries it).  Rejected requests are skipped and counted. *)
+    carries it).  Rejected requests are skipped and counted.
+
+    When the global {!Sim.Pool} would actually fan out
+    ([Sim.Pool.parallel_now ()]) and the routing configuration is the
+    default, admission is sharded: planner domains dry-run chunks of
+    requests ({!Bcp.Establish.plan}) and a serial merge replays each plan
+    in request order, recomputing serially whenever a predecessor
+    invalidated a plan's reads — the result is byte-identical to the
+    sequential loop at any [--jobs]. *)
 
 val build :
   ?seed:int ->

@@ -21,3 +21,22 @@ module Set : Set.S with type elt = t
 
 val inter_card : Set.t -> Set.t -> int
 (** Cardinality of the intersection, without building it. *)
+
+(** Flat component set for routing inner loops: byte-per-component with an
+    O(members) [reset].  Reusable scratch — create once, reset per
+    search. *)
+module Mask : sig
+  type mask
+
+  val create : num_nodes:int -> num_links:int -> mask
+  val add : mask -> t -> unit
+  val add_set : mask -> Set.t -> unit
+  val mem : mask -> t -> bool
+  val mem_node : mask -> int -> bool
+  val mem_link : mask -> int -> bool
+  val reset : mask -> unit
+
+  val scratch : num_nodes:int -> num_links:int -> mask
+  (** Domain-local reusable mask, reset on every call.  At most one live
+      user per domain: acquiring again invalidates the previous use. *)
+end

@@ -6,6 +6,13 @@ type t = {
   mutable num_links : int;
   out : int list array; (* reversed insertion order; normalised on read *)
   in_ : int list array;
+  (* Flat adjacency cache for the routing hot path: per-node int arrays in
+     insertion order, rebuilt lazily after the topology grows.
+     [adj_links] records the link count the cache was built at; -1 means
+     stale. *)
+  mutable out_arr : int array array;
+  mutable in_arr : int array array;
+  mutable adj_links : int;
 }
 
 let create ~num_nodes =
@@ -16,6 +23,9 @@ let create ~num_nodes =
     num_links = 0;
     out = Array.make num_nodes [];
     in_ = Array.make num_nodes [];
+    out_arr = [||];
+    in_arr = [||];
+    adj_links = -1;
   }
 
 let check_node t v name =
@@ -40,6 +50,7 @@ let add_link t ~src ~dst ~capacity =
   t.num_links <- t.num_links + 1;
   t.out.(src) <- id :: t.out.(src);
   t.in_.(dst) <- id :: t.in_.(dst);
+  t.adj_links <- -1;
   id
 
 let add_duplex t ~a ~b ~capacity =
@@ -62,6 +73,28 @@ let out_links t v =
 let in_links t v =
   check_node t v "query";
   List.rev t.in_.(v)
+
+(* Flat adjacency, in the same insertion order as {!out_links} /
+   {!in_links} but without the per-call [List.rev] allocation.  The
+   returned arrays are shared — callers must not mutate them. *)
+let refresh_adjacency t =
+  t.out_arr <- Array.map (fun l -> Array.of_list (List.rev l)) t.out;
+  t.in_arr <- Array.map (fun l -> Array.of_list (List.rev l)) t.in_;
+  t.adj_links <- t.num_links
+
+let out_array t v =
+  check_node t v "query";
+  if t.adj_links <> t.num_links then refresh_adjacency t;
+  t.out_arr.(v)
+
+let in_array t v =
+  check_node t v "query";
+  if t.adj_links <> t.num_links then refresh_adjacency t;
+  t.in_arr.(v)
+
+(* Unchecked link read for inner routing loops; [id] must come from an
+   adjacency array of this topology. *)
+let link_unsafe t id = Array.unsafe_get t.links id
 
 let find_link t ~src ~dst =
   check_node t src "source";

@@ -37,6 +37,17 @@ val out_links : t -> int -> int list
 val in_links : t -> int -> int list
 (** Ids of links entering a node. *)
 
+val out_array : t -> int -> int array
+(** Flat view of {!out_links} in the same order, cached per topology so
+    routing inner loops allocate nothing.  The array is shared: callers
+    must not mutate it, and it is invalidated by {!add_link}. *)
+
+val in_array : t -> int -> int array
+(** Flat view of {!in_links}; same sharing contract as {!out_array}. *)
+
+val link_unsafe : t -> int -> link
+(** Unchecked {!link}, for ids taken from {!out_array}/{!in_array}. *)
+
 val find_link : t -> src:int -> dst:int -> int option
 (** Some id of a link from [src] to [dst] (the first added), if any. *)
 

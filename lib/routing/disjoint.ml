@@ -8,19 +8,25 @@ let unconstrained =
   { link_ok = (fun _ -> true); node_ok = (fun _ -> true); max_hops = None }
 
 (* Combine the caller's admission predicates with avoidance of the interior
-   components of the already-routed paths. *)
+   components of the already-routed paths.  The banned set lives in the
+   domain-local mask scratch (O(1) membership, no set unions); the mask is
+   only valid for the duration of the immediately following search. *)
 let narrowed topo cs avoid =
   let banned =
-    List.fold_left
-      (fun acc p -> Net.Component.Set.union acc (Net.Path.interior_components topo p))
-      Net.Component.Set.empty avoid
+    Net.Component.Mask.scratch
+      ~num_nodes:(Net.Topology.num_nodes topo)
+      ~num_links:(Net.Topology.num_links topo)
   in
+  List.iter
+    (fun p ->
+      Net.Component.Mask.add_set banned (Net.Path.interior_components topo p))
+    avoid;
   let link_ok l =
     cs.link_ok l
-    && not (Net.Component.Set.mem (Net.Component.Link l.Net.Topology.id) banned)
+    && not (Net.Component.Mask.mem_link banned l.Net.Topology.id)
   in
   let node_ok v =
-    cs.node_ok v && not (Net.Component.Set.mem (Net.Component.Node v) banned)
+    cs.node_ok v && not (Net.Component.Mask.mem_node banned v)
   in
   (link_ok, node_ok)
 

@@ -1,6 +1,36 @@
 let all_links_ok _ = true
 let all_nodes_ok _ = true
 
+(* Reusable per-domain BFS workspace.  Visitation is epoch-stamped
+   ([stamp.(v) = epoch] means "seen this search"), so starting a search
+   costs one integer bump instead of clearing three O(n) arrays; the
+   arrays themselves grow monotonically to the largest topology searched
+   in this domain.  Keyed by [Domain.DLS] because benchmark tiers run
+   whole simulations on separate domains. *)
+type ws = {
+  mutable dist : int array;
+  mutable parent : int array;
+  mutable stamp : int array;
+  mutable queue : int array;
+  mutable epoch : int;
+}
+
+let ws_key =
+  Domain.DLS.new_key (fun () ->
+      { dist = [||]; parent = [||]; stamp = [||]; queue = [||]; epoch = 0 })
+
+let get_ws n =
+  let ws = Domain.DLS.get ws_key in
+  if Array.length ws.dist < n then begin
+    ws.dist <- Array.make n 0;
+    ws.parent <- Array.make n (-1);
+    ws.stamp <- Array.make n 0;
+    ws.queue <- Array.make n 0;
+    ws.epoch <- 0
+  end;
+  ws.epoch <- ws.epoch + 1;
+  ws
+
 let bfs_distances topo ~start ~links_of ~endpoint_of =
   let n = Net.Topology.num_nodes topo in
   let dist = Array.make n max_int in
@@ -9,9 +39,9 @@ let bfs_distances topo ~start ~links_of ~endpoint_of =
   Queue.add start q;
   while not (Queue.is_empty q) do
     let u = Queue.pop q in
-    List.iter
+    Array.iter
       (fun id ->
-        let v = endpoint_of (Net.Topology.link topo id) in
+        let v = endpoint_of (Net.Topology.link_unsafe topo id) in
         if dist.(v) = max_int then begin
           dist.(v) <- dist.(u) + 1;
           Queue.add v q
@@ -22,54 +52,67 @@ let bfs_distances topo ~start ~links_of ~endpoint_of =
 
 let hop_distance topo ~src =
   bfs_distances topo ~start:src
-    ~links_of:(Net.Topology.out_links topo)
+    ~links_of:(Net.Topology.out_array topo)
     ~endpoint_of:(fun l -> l.Net.Topology.dst)
 
 let hop_distance_to topo ~dst =
   bfs_distances topo ~start:dst
-    ~links_of:(Net.Topology.in_links topo)
+    ~links_of:(Net.Topology.in_array topo)
     ~endpoint_of:(fun l -> l.Net.Topology.src)
 
 (* BFS with admission predicates.  All hops cost 1, so plain BFS finds a
-   minimum-hop path; parent links reconstruct it. *)
+   minimum-hop path; parent links reconstruct it.  The scan runs over the
+   cached flat adjacency and the epoch-stamped workspace, so a search on
+   an already-visited topology allocates only the returned path. *)
 let search ?(link_ok = all_links_ok) ?(node_ok = all_nodes_ok) ?max_hops
     ?tie_break topo ~src ~dst =
   if src = dst then Some []
   else begin
     let n = Net.Topology.num_nodes topo in
-    let dist = Array.make n max_int in
-    let parent = Array.make n (-1) in
+    let ws = get_ws n in
+    let epoch = ws.epoch in
+    let dist = ws.dist and parent = ws.parent and stamp = ws.stamp in
+    let queue = ws.queue in
     dist.(src) <- 0;
-    let q = Queue.create () in
-    Queue.add src q;
+    stamp.(src) <- epoch;
+    queue.(0) <- src;
+    let head = ref 0 and tail = ref 1 in
     let budget = match max_hops with Some b -> b | None -> max_int in
     let found = ref false in
-    while (not !found) && not (Queue.is_empty q) do
-      let u = Queue.pop q in
+    let visit u id l =
+      let v = l.Net.Topology.dst in
+      if
+        Array.unsafe_get stamp v <> epoch
+        && link_ok l
+        && (v = dst || node_ok v)
+      then begin
+        Array.unsafe_set stamp v epoch;
+        Array.unsafe_set dist v (Array.unsafe_get dist u + 1);
+        Array.unsafe_set parent v id;
+        if v = dst then found := true
+        else begin
+          queue.(!tail) <- v;
+          incr tail
+        end
+      end
+    in
+    while (not !found) && !head < !tail do
+      let u = queue.(!head) in
+      incr head;
       if dist.(u) < budget then begin
-        let out = Net.Topology.out_links topo u in
-        let out =
-          match tie_break with
-          | None -> out
-          | Some rng -> Sim.Prng.shuffle_list rng out
-        in
-        List.iter
-          (fun id ->
-            let l = Net.Topology.link topo id in
-            let v = l.Net.Topology.dst in
-            if
-              dist.(v) = max_int
-              && link_ok l
-              && (v = dst || node_ok v)
-            then begin
-              dist.(v) <- dist.(u) + 1;
-              parent.(v) <- id;
-              if v = dst then found := true else Queue.add v q
-            end)
-          out
+        match tie_break with
+        | None ->
+            let out = Net.Topology.out_array topo u in
+            for i = 0 to Array.length out - 1 do
+              let id = Array.unsafe_get out i in
+              visit u id (Net.Topology.link_unsafe topo id)
+            done
+        | Some rng ->
+            let out = Sim.Prng.shuffle_list rng (Net.Topology.out_links topo u) in
+            List.iter (fun id -> visit u id (Net.Topology.link_unsafe topo id)) out
       end
     done;
-    if dist.(dst) = max_int || dist.(dst) > budget then None
+    if stamp.(dst) <> epoch || dist.(dst) > budget then None
     else begin
       let rec rebuild v acc =
         if v = src then acc

@@ -1,0 +1,201 @@
+(* Flat state layout: dense-id interning units plus QCheck equivalence of
+   the flat admission/mux hot path against the retained map-based
+   reference.
+
+   The equivalence property drives random scenario prefixes (establish /
+   add-backup / remove / drain) through two identical netstates, one with
+   [Netstate.set_self_check] enabled — every mutation then recomputes the
+   spare requirement from first principles over the flat tables and
+   asserts it matches the incremental value — and checks that the two
+   evolve identically (same admission verdicts, loads and spare levels).
+   A third run routes establishment through the speculative
+   [Establish.plan] / [try_commit] pair and must match the serial
+   [establish] transcript exactly. *)
+
+let bw1 = Rtchan.Traffic.of_bandwidth 1.0
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* ---------------- dense-id interning units ---------------- *)
+
+let test_ids_stability () =
+  let ids = Bcp.Netstate.Ids.create ~kind:"unit" () in
+  for expect = 0 to 99 do
+    Alcotest.(check int) "dense ascending" expect (Bcp.Netstate.Ids.fresh ids)
+  done;
+  Alcotest.(check int) "watermark" 100 (Bcp.Netstate.Ids.watermark ids);
+  Alcotest.(check int) "live" 100 (Bcp.Netstate.Ids.live_count ids)
+
+let test_ids_recycling () =
+  let ids = Bcp.Netstate.Ids.create ~kind:"unit" () in
+  let _a = Bcp.Netstate.Ids.fresh ids in
+  let b = Bcp.Netstate.Ids.fresh ids in
+  let c = Bcp.Netstate.Ids.fresh ids in
+  Bcp.Netstate.Ids.release ids b;
+  Bcp.Netstate.Ids.release ids c;
+  (* LIFO: the most recently released id comes back first, keeping the
+     live set dense under churn. *)
+  Alcotest.(check int) "lifo first" c (Bcp.Netstate.Ids.fresh ids);
+  Alcotest.(check int) "lifo second" b (Bcp.Netstate.Ids.fresh ids);
+  Alcotest.(check int) "watermark unchanged" 3 (Bcp.Netstate.Ids.watermark ids);
+  Alcotest.(check bool) "mem live" true (Bcp.Netstate.Ids.mem ids b);
+  Bcp.Netstate.Ids.release ids b;
+  Alcotest.(check bool) "mem released" false (Bcp.Netstate.Ids.mem ids b)
+
+let test_ids_errors () =
+  let ids = Bcp.Netstate.Ids.create ~kind:"bid" () in
+  ignore (Bcp.Netstate.Ids.fresh ids);
+  let expect_invalid ~id f =
+    match f () with
+    | exception Invalid_argument msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S names the space and id %s" msg id)
+        true
+        (contains ~sub:"bid" msg && contains ~sub:id msg)
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  expect_invalid ~id:"7" (fun () -> Bcp.Netstate.Ids.check ids 7);
+  expect_invalid ~id:"-1" (fun () -> Bcp.Netstate.Ids.check ids (-1));
+  expect_invalid ~id:"3" (fun () -> Bcp.Netstate.Ids.release ids 3)
+
+(* ---------------- scenario-prefix equivalence ---------------- *)
+
+type op =
+  | Establish of int (* pair index into the shuffled workload *)
+  | Add_backup of int (* grow a live connection by one backup *)
+  | Remove of int (* index into the live list *)
+  | Drain of int (* remove a block of connections *)
+
+let gen_ops =
+  QCheck.Gen.(
+    list_size (int_range 10 60)
+      (frequency
+         [
+           (6, map (fun i -> Establish i) (int_bound 1000));
+           (2, map (fun i -> Add_backup i) (int_bound 1000));
+           (2, map (fun i -> Remove i) (int_bound 1000));
+           (1, map (fun n -> Drain n) (int_range 1 5));
+         ]))
+
+let arb_ops =
+  QCheck.make
+    ~print:(fun l -> Printf.sprintf "<%d ops>" (List.length l))
+    gen_ops
+
+(* Deterministic interpreter; the returned transcript captures every
+   admission verdict plus the final load/spare, so equal transcripts mean
+   the runs took identical decisions.  [speculative] routes establishment
+   through plan/try_commit (the replay is exercised on every request:
+   with no concurrent mutator a plan is always valid). *)
+let run_scenario ~self_check ~speculative ops =
+  let topo = Net.Builders.torus ~rows:4 ~cols:4 ~capacity:50.0 in
+  let ns = Bcp.Netstate.create ~lambda:1e-4 topo () in
+  Bcp.Netstate.set_self_check ns self_check;
+  let rng = Sim.Prng.create 42 in
+  let pairs =
+    Array.of_list
+      (Workload.Generator.shuffled rng
+         (Workload.Generator.all_pairs ~backups:1 ~mux_degree:3 topo))
+  in
+  let next = ref 0 in
+  let live = ref [] in
+  let t = Buffer.create 256 in
+  let note fmt = Printf.ksprintf (Buffer.add_string t) fmt in
+  List.iter
+    (fun op ->
+      match op with
+      | Establish i ->
+        let r = pairs.(i mod Array.length pairs) in
+        let req =
+          {
+            Bcp.Establish.src = r.Workload.Generator.src;
+            dst = r.dst;
+            traffic = bw1;
+            qos = r.qos;
+            backups = 1 + (i mod 2);
+            mux_degree = 1 + (i mod 4);
+          }
+        in
+        let conn_id = !next in
+        incr next;
+        let outcome =
+          if speculative then
+            let p = Bcp.Establish.plan ns ~conn_id req in
+            match Bcp.Establish.try_commit ns p with
+            | Some r -> r
+            | None -> Bcp.Establish.establish ns ~conn_id req
+          else Bcp.Establish.establish ns ~conn_id req
+        in
+        (match outcome with
+        | Ok conn ->
+          live := !live @ [ conn ];
+          note "E%d+;" conn_id
+        | Error _ -> note "E%d-;" conn_id)
+      | Add_backup i -> (
+        match !live with
+        | [] -> ()
+        | l -> (
+          let conn = List.nth l (i mod List.length l) in
+          match
+            Bcp.Establish.add_backup ns conn ~mux_degree:(1 + (i mod 4))
+          with
+          | Ok b -> note "A%d.%d;" conn.Bcp.Dconn.id b.Bcp.Dconn.serial
+          | Error _ -> note "A%d-;" conn.Bcp.Dconn.id))
+      | Remove i -> (
+        match !live with
+        | [] -> ()
+        | l ->
+          let conn = List.nth l (i mod List.length l) in
+          live := List.filter (fun c -> c != conn) !live;
+          Bcp.Netstate.remove_dconn ns conn.Bcp.Dconn.id;
+          note "R%d;" conn.Bcp.Dconn.id)
+      | Drain n ->
+        let rec drop k =
+          if k > 0 then
+            match !live with
+            | [] -> ()
+            | conn :: rest ->
+              live := rest;
+              Bcp.Netstate.remove_dconn ns conn.Bcp.Dconn.id;
+              note "D%d;" conn.Bcp.Dconn.id;
+              drop (k - 1)
+        in
+        drop n)
+    ops;
+  note "load=%.9f;spare=%.9f"
+    (Bcp.Netstate.network_load ns)
+    (Bcp.Netstate.spare_fraction ns);
+  Buffer.contents t
+
+let prop_flat_equals_reference =
+  QCheck.Test.make ~count:40
+    ~name:"flat tables = map reference on random prefixes" arb_ops (fun ops ->
+      let checked = run_scenario ~self_check:true ~speculative:false ops in
+      let plain = run_scenario ~self_check:false ~speculative:false ops in
+      String.equal checked plain)
+
+let prop_speculative_equals_serial =
+  QCheck.Test.make ~count:40 ~name:"plan/try_commit = serial establish"
+    arb_ops (fun ops ->
+      let serial = run_scenario ~self_check:false ~speculative:false ops in
+      let spec = run_scenario ~self_check:false ~speculative:true ops in
+      String.equal serial spec)
+
+let () =
+  Alcotest.run "flatstate"
+    [
+      ( "ids",
+        [
+          Alcotest.test_case "fresh is dense ascending" `Quick
+            test_ids_stability;
+          Alcotest.test_case "release recycles LIFO" `Quick test_ids_recycling;
+          Alcotest.test_case "errors name the space and id" `Quick
+            test_ids_errors;
+        ] );
+      ( "equivalence",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_flat_equals_reference; prop_speculative_equals_serial ] );
+    ]
