@@ -1,6 +1,6 @@
 (* Benchmark comparison gate.
 
-   Usage: compare BASELINE.json FRESH.json [--tolerance PCT]
+   Usage: compare BASELINE.json FRESH.json [--tolerance PCT] [--json FILE]
 
    Diffs a fresh bcp-bench/v1 results file against a committed baseline:
 
@@ -14,9 +14,30 @@
      [--omit-timings] skip this check, keeping the gate independent of
      the machine that produced the baseline.
 
+   [--json FILE] additionally writes the complete drift set as a
+   bcp-compare/v1 document: one record per failure with the table, row,
+   column, both values and a failure kind, so CI tooling can triage
+   drift without scraping FAIL lines.
+
    Exit codes: 0 ok, 1 drift or regression, 2 usage / IO / parse error. *)
 
 let errors = ref 0
+let findings : Eval.Json.t list ref = ref []
+
+(* Structured twin of a FAIL line; [kind] names the check that fired. *)
+let note ~kind ?(table = "") ?(row = "") ?(column = "") ~baseline ~fresh () =
+  let s v = Eval.Json.String v in
+  findings :=
+    Eval.Json.Obj
+      [
+        ("kind", s kind);
+        ("table", s table);
+        ("row", s row);
+        ("column", s column);
+        ("baseline", s baseline);
+        ("fresh", s fresh);
+      ]
+    :: !findings
 
 let fail fmt =
   Printf.ksprintf
@@ -27,7 +48,7 @@ let fail fmt =
 
 let usage () =
   prerr_endline
-    "usage: compare BASELINE.json FRESH.json [--tolerance PCT]\n\
+    "usage: compare BASELINE.json FRESH.json [--tolerance PCT] [--json FILE]\n\
   (--timing-tolerance is accepted as an alias)";
   exit 2
 
@@ -80,34 +101,53 @@ let table_rows t =
    mismatch so one run reports the complete drift set. *)
 let compare_table ~baseline_path ~title base fresh =
   let bc = table_columns base and fc = table_columns fresh in
-  if bc <> fc then
+  if bc <> fc then begin
     fail "%s: columns differ (baseline %s)\n  baseline: %s\n  fresh:    %s"
       title baseline_path (String.concat " | " bc) (String.concat " | " fc);
+    note ~kind:"columns" ~table:title
+      ~baseline:(String.concat " | " bc)
+      ~fresh:(String.concat " | " fc) ()
+  end;
   let column i =
     match List.nth_opt bc i with
     | Some c -> c
     | None -> Printf.sprintf "column %d" i
   in
   let br = table_rows base and fr = table_rows fresh in
-  if List.length br <> List.length fr then
+  if List.length br <> List.length fr then begin
     fail "%s: %d rows in baseline, %d in fresh (baseline %s)" title
-      (List.length br) (List.length fr) baseline_path
+      (List.length br) (List.length fr) baseline_path;
+    note ~kind:"row-count" ~table:title
+      ~baseline:(string_of_int (List.length br))
+      ~fresh:(string_of_int (List.length fr))
+      ()
+  end
   else
     List.iter2
       (fun (bl, bcells) (fl, fcells) ->
-        if bl <> fl then
+        if bl <> fl then begin
           fail "%s: row label %S became %S (baseline %s)" title bl fl
             baseline_path;
+          note ~kind:"row-label" ~table:title ~baseline:bl ~fresh:fl ()
+        end;
         let row = if bl = fl then bl else Printf.sprintf "%s->%s" bl fl in
-        if List.length bcells <> List.length fcells then
+        if List.length bcells <> List.length fcells then begin
           fail "%s / %s: %d cells in baseline, %d in fresh (baseline %s)" title
-            row (List.length bcells) (List.length fcells) baseline_path
+            row (List.length bcells) (List.length fcells) baseline_path;
+          note ~kind:"cell-count" ~table:title ~row
+            ~baseline:(string_of_int (List.length bcells))
+            ~fresh:(string_of_int (List.length fcells))
+            ()
+        end
         else
           List.iteri
             (fun i (b, f) ->
-              if b <> f then
+              if b <> f then begin
                 fail "%s / %s / %s: %S became %S (baseline %s)" title row
-                  (column i) b f baseline_path)
+                  (column i) b f baseline_path;
+                note ~kind:"cell" ~table:title ~row ~column:(column i)
+                  ~baseline:b ~fresh:f ()
+              end)
             (List.combine bcells fcells))
       br fr
 
@@ -115,14 +155,20 @@ let check_timing ~tolerance ~what base fresh =
   match (base, fresh) with
   | Some b, Some f when b > 0.0 ->
     let ratio = f /. b in
-    if ratio > 1.0 +. tolerance then
+    if ratio > 1.0 +. tolerance then begin
       fail "%s: %.3fs -> %.3fs (+%.0f%% > %.0f%% tolerance)" what b f
         ((ratio -. 1.0) *. 100.0)
-        (tolerance *. 100.0)
+        (tolerance *. 100.0);
+      note ~kind:"timing" ~table:what
+        ~baseline:(Printf.sprintf "%.3f" b)
+        ~fresh:(Printf.sprintf "%.3f" f)
+        ()
+    end
   | _ -> () (* baseline committed without timings: skip *)
 
 let () =
   let tolerance = ref 0.20 in
+  let json_out = ref None in
   let positional = ref [] in
   let rec parse = function
     | [] -> ()
@@ -130,6 +176,9 @@ let () =
       (match float_of_string_opt v with
       | Some p when p >= 0.0 -> tolerance := p /. 100.0
       | _ -> usage ());
+      parse rest
+    | "--json" :: path :: rest ->
+      json_out := Some path;
       parse rest
     | a :: _ when String.length a > 1 && a.[0] = '-' -> usage ()
     | a :: rest ->
@@ -158,7 +207,8 @@ let () =
       let title = table_title bt in
       match find_fresh title with
       | None ->
-        fail "%s: missing from fresh results (baseline %s)" title baseline_path
+        fail "%s: missing from fresh results (baseline %s)" title baseline_path;
+        note ~kind:"missing-table" ~table:title ~baseline:title ~fresh:"" ()
       | Some ft ->
         compare_table ~baseline_path ~title bt ft;
         check_timing ~tolerance:!tolerance ~what:title
@@ -167,6 +217,25 @@ let () =
   check_timing ~tolerance:!tolerance ~what:"total wall time"
     (float_member "total_wall_s" base)
     (float_member "total_wall_s" fresh);
+  (match !json_out with
+  | None -> ()
+  | Some path ->
+    let doc =
+      Eval.Json.Obj
+        [
+          ("schema", Eval.Json.String "bcp-compare/v1");
+          ("baseline", Eval.Json.String baseline_path);
+          ("fresh", Eval.Json.String fresh_path);
+          ("tolerance", Eval.Json.Float !tolerance);
+          ("tables", Eval.Json.Int (List.length base_tables));
+          ("ok", Eval.Json.Bool (!errors = 0));
+          ("failures", Eval.Json.List (List.rev !findings));
+        ]
+    in
+    let oc = open_out path in
+    output_string oc (Eval.Json.to_string ~indent:2 doc);
+    output_char oc '\n';
+    close_out oc);
   if !errors > 0 then begin
     Printf.printf "\n%d failure(s) vs baseline %s\n" !errors baseline_path;
     exit 1

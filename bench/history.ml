@@ -1,0 +1,256 @@
+(* Perf time-series pipeline over benchmark runs.
+
+   Usage:
+     history append RUN.json HISTORY.jsonl [--label STR]
+     history report HISTORY.jsonl [--suite NAME]
+
+   [append] digests one bcp-bench/v1 results file into a single
+   bcp-history/v1 line appended to HISTORY.jsonl: suite, seed, jobs,
+   the tables verbatim (cells and per-table wall_s) and — when the run
+   was profiled — the bcp-prof/v1 span/counter aggregates.  One line
+   per run keeps the history greppable and append-only, so nightly CI
+   can grow it with a cache and publish it as an artifact.
+
+   [report] reads every line back and prints the drift of each series:
+   wall-clock timings and profile span self-times as first/last/min/max
+   with the relative change, result cells as distinct-value counts
+   (a correctness cell that ever changes is drift worth reading).
+
+   Exit codes: 0 ok, 2 usage / IO / parse error. *)
+
+let usage () =
+  prerr_endline
+    "usage: history append RUN.json HISTORY.jsonl [--label STR]\n\
+    \       history report HISTORY.jsonl [--suite NAME]";
+  exit 2
+
+let load path =
+  let content =
+    try
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    with Sys_error msg ->
+      Printf.eprintf "history: cannot read %s: %s\n" path msg;
+      exit 2
+  in
+  match Eval.Json.of_string content with
+  | Ok v -> v
+  | Error msg ->
+    Printf.eprintf "history: %s: %s\n" path msg;
+    exit 2
+
+let str_member k j =
+  Option.bind (Eval.Json.member k j) Eval.Json.to_string_opt
+
+let float_member k j =
+  Option.bind (Eval.Json.member k j) Eval.Json.to_float_opt
+
+let list_member k j =
+  match Eval.Json.member k j with Some v -> Eval.Json.to_list v | None -> []
+
+(* ------------------------------ append ------------------------------ *)
+
+let append run_path history_path label =
+  let run = load run_path in
+  (match str_member "schema" run with
+  | Some "bcp-bench/v1" -> ()
+  | s ->
+    Printf.eprintf "history: %s: expected schema bcp-bench/v1 (got %s)\n"
+      run_path
+      (Option.value ~default:"<none>" s);
+    exit 2);
+  let opt k = match Eval.Json.member k run with
+    | Some v -> [ (k, v) ]
+    | None -> []
+  in
+  let line =
+    Eval.Json.Obj
+      ([ ("schema", Eval.Json.String "bcp-history/v1") ]
+      @ (match label with
+        | None -> []
+        | Some l -> [ ("label", Eval.Json.String l) ])
+      @ opt "suite" @ opt "seed" @ opt "jobs"
+      @ [ ("tables", Eval.Json.List (list_member "tables" run)) ]
+      @ opt "total_wall_s" @ opt "profile")
+  in
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 history_path
+  in
+  output_string oc (Eval.Json.to_string line);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "appended %s to %s\n" run_path history_path
+
+(* ------------------------------ report ------------------------------ *)
+
+let load_lines path suite_filter =
+  let ic =
+    try open_in path
+    with Sys_error msg ->
+      Printf.eprintf "history: cannot read %s: %s\n" path msg;
+      exit 2
+  in
+  let lines = ref [] in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       if String.trim line <> "" then
+         match Eval.Json.of_string line with
+         | Error msg ->
+           Printf.eprintf "history: %s:%d: %s\n" path !lineno msg;
+           exit 2
+         | Ok j -> (
+           match str_member "schema" j with
+           | Some "bcp-history/v1" ->
+             let keep =
+               match suite_filter with
+               | None -> true
+               | Some s -> str_member "suite" j = Some s
+             in
+             if keep then lines := j :: !lines
+           | s ->
+             Printf.eprintf
+               "history: %s:%d: expected schema bcp-history/v1 (got %s)\n" path
+               !lineno
+               (Option.value ~default:"<none>" s);
+             exit 2)
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !lines
+
+(* Cell values like "9.03%" or "0.100 ms" drift-compare on their leading
+   number; cells with none fall back to distinct-string counting. *)
+let numeric_prefix s =
+  try Scanf.sscanf s " %f" (fun f -> Some f) with
+  | Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+
+(* Ordered accumulation: series keep first-seen order so the report is
+   stable across runs of the tool. *)
+let series : (string, float list ref) Hashtbl.t = Hashtbl.create 256
+let cells : (string, string list ref) Hashtbl.t = Hashtbl.create 1024
+let order : string list ref = ref []
+
+let push tbl key v =
+  match Hashtbl.find_opt tbl key with
+  | Some l -> l := v :: !l
+  | None ->
+    Hashtbl.add tbl key (ref [ v ]);
+    order := key :: !order
+
+let collect line =
+  Option.iter (push series "total wall time (s)") (float_member "total_wall_s" line);
+  List.iter
+    (fun t ->
+      let title = Option.value ~default:"<untitled>" (str_member "title" t) in
+      Option.iter
+        (push series (Printf.sprintf "%s (wall s)" title))
+        (float_member "wall_s" t);
+      let columns =
+        List.filter_map Eval.Json.to_string_opt (list_member "columns" t)
+      in
+      List.iter
+        (fun r ->
+          let label = Option.value ~default:"" (str_member "label" r) in
+          List.iteri
+            (fun i c ->
+              match Eval.Json.to_string_opt c with
+              | None -> ()
+              | Some cell ->
+                let column =
+                  match List.nth_opt columns i with
+                  | Some c -> c
+                  | None -> Printf.sprintf "column %d" i
+                in
+                push cells
+                  (Printf.sprintf "%s / %s / %s" title label column)
+                  cell)
+            (list_member "cells" r))
+        (list_member "rows" t))
+    (list_member "tables" line);
+  match Eval.Json.member "profile" line with
+  | None -> ()
+  | Some prof ->
+    List.iter
+      (fun s ->
+        match (str_member "name" s, float_member "self_ns" s) with
+        | Some name, Some self ->
+          push series (Printf.sprintf "span %s (self ms)" name) (self /. 1e6)
+        | _ -> ())
+      (list_member "spans" prof)
+
+let report history_path suite_filter =
+  let lines = load_lines history_path suite_filter in
+  if lines = [] then begin
+    Printf.printf "history: no matching runs in %s\n" history_path;
+    exit 0
+  end;
+  List.iter collect lines;
+  Printf.printf "history: %d run(s) in %s%s\n\n" (List.length lines)
+    history_path
+    (match suite_filter with
+    | None -> ""
+    | Some s -> Printf.sprintf " (suite %s)" s);
+  let keys = List.rev !order in
+  let timing_keys = List.filter (Hashtbl.mem series) keys in
+  if timing_keys <> [] then begin
+    Printf.printf "%-58s %9s %9s %9s %9s %8s\n" "timing / span series" "first"
+      "last" "min" "max" "drift";
+    List.iter
+      (fun key ->
+        let vs = List.rev !(Hashtbl.find series key) in
+        let first = List.hd vs and last = List.hd (List.rev vs) in
+        let mn = List.fold_left min first vs
+        and mx = List.fold_left max first vs in
+        let drift =
+          if first = 0.0 then "n/a"
+          else Printf.sprintf "%+.1f%%" ((last /. first -. 1.0) *. 100.0)
+        in
+        Printf.printf "%-58s %9.3f %9.3f %9.3f %9.3f %8s\n" key first last mn
+          mx drift)
+      timing_keys;
+    print_newline ()
+  end;
+  let drifted = ref 0 and stable = ref 0 in
+  List.iter
+    (fun key ->
+      match Hashtbl.find_opt cells key with
+      | None -> ()
+      | Some l ->
+        let vs = List.rev !l in
+        let distinct = List.sort_uniq String.compare vs in
+        if List.length distinct <= 1 then incr stable
+        else begin
+          incr drifted;
+          let first = List.hd vs and last = List.hd (List.rev vs) in
+          (match (numeric_prefix first, numeric_prefix last) with
+          | Some f, Some g when f <> 0.0 ->
+            Printf.printf
+              "cell drift  %s: %S -> %S (%d distinct values, %+.1f%%)\n" key
+              first last (List.length distinct)
+              ((g /. f -. 1.0) *. 100.0)
+          | _ ->
+            Printf.printf "cell drift  %s: %S -> %S (%d distinct values)\n" key
+              first last (List.length distinct))
+        end)
+    keys;
+  Printf.printf "cells: %d stable, %d drifted\n" !stable !drifted
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "append" :: rest -> (
+    match rest with
+    | [ run; hist ] -> append run hist None
+    | [ run; hist; "--label"; l ] -> append run hist (Some l)
+    | _ -> usage ())
+  | _ :: "report" :: rest -> (
+    match rest with
+    | [ hist ] -> report hist None
+    | [ hist; "--suite"; s ] -> report hist (Some s)
+    | _ -> usage ())
+  | _ -> usage ()

@@ -596,7 +596,7 @@ let run_bechamel () =
 
 (* ------------- JSON output (schema bcp-bench/v1) ------------- *)
 
-let write_json ~path ~suite ~omit_timings ~total_wall =
+let write_json ~path ~suite ~omit_timings ~total_wall ~profile =
   let tables =
     List.rev_map
       (fun (report, wall) ->
@@ -633,6 +633,12 @@ let write_json ~path ~suite ~omit_timings ~total_wall =
           ("total_wall_s", Eval.Json.Float total_wall);
         ]
   in
+  let timed =
+    match profile with
+    | None -> timed
+    | Some report ->
+      timed @ [ ("profile", Eval.Telemetry.prof_to_json report) ]
+  in
   let oc = open_out path in
   output_string oc (Eval.Json.to_string ~indent:2 (Eval.Json.Obj timed));
   output_char oc '\n';
@@ -648,8 +654,9 @@ let () =
   let micro = ref false in
   let json_path = ref None in
   let omit_timings = ref false in
+  let profile = ref false in
   let jobs = ref 1 in
-  let usage = "bench [--part1-only|--part2-only|--scaling-only|--churn-only] [--jobs N] [--json FILE] [--omit-timings] [--micro] [--seed N]" in
+  let usage = "bench [--part1-only|--part2-only|--scaling-only|--churn-only] [--jobs N] [--json FILE] [--omit-timings] [--profile] [--micro] [--seed N]" in
   let spec =
     [
       ("--part1-only", Arg.Set part1_only, " Run only the full-scale 8x8 suite");
@@ -667,6 +674,10 @@ let () =
       ( "--omit-timings",
         Arg.Set omit_timings,
         " Omit wall-clock fields from the JSON (stable baselines)" );
+      ( "--profile",
+        Arg.Set profile,
+        " Profile the engine (Sim.Prof): hot-span table on stderr, \
+         bcp-prof/v1 section in the JSON" );
       ("--micro", Arg.Set micro, " Run the Bechamel micro-benchmarks");
       ("--seed", Arg.Set_int seed, "N PRNG seed (default 42)");
     ]
@@ -696,6 +707,7 @@ let () =
       "--part1-only, --part2-only, --scaling-only and --churn-only are \
        mutually exclusive";
   Sim.Pool.set_jobs !jobs;
+  if !profile then Sim.Prof.enable ();
   let t0 = Unix.gettimeofday () in
   if not (!part2_only || !scaling_only || !churn_only) then part1 ();
   if not (!part1_only || !scaling_only || !churn_only) then part2 ();
@@ -712,6 +724,16 @@ let () =
   end;
   let total_wall = Unix.gettimeofday () -. t0 in
   Printf.printf "\ntotal wall time: %.1f s\n" total_wall;
+  (* The hot-span table goes to stderr so profiling leaves stdout (and
+     the CI identity diffs over it) untouched. *)
+  let prof_report =
+    if !profile then begin
+      let r = Sim.Prof.report () in
+      Sim.Prof.print_top Format.err_formatter;
+      Some r
+    end
+    else None
+  in
   (match !json_path with
   | None -> ()
   | Some path ->
@@ -722,4 +744,5 @@ let () =
       else if !churn_only then "churn"
       else "full"
     in
-    write_json ~path ~suite ~omit_timings:!omit_timings ~total_wall)
+    write_json ~path ~suite ~omit_timings:!omit_timings ~total_wall
+      ~profile:prof_report)

@@ -87,6 +87,32 @@ let json_arg =
     & info [ "json" ] ~docv:"FILE"
         ~doc:"Also write every emitted table to FILE as JSON.")
 
+let prof_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "prof-out" ] ~docv:"FILE"
+        ~doc:
+          "Profile the run with the engine span profiler and write the \
+           span/counter/GC report to FILE (schema bcp-prof/v1), plus a \
+           hot-span table on stderr. Chrome traces written by --trace-out \
+           then carry the engine spans on the same timeline. Profiling \
+           never perturbs simulation results.")
+
+let prof_setup = function None -> () | Some _ -> Sim.Prof.enable ()
+
+let prof_finish = function
+  | None -> ()
+  | Some path ->
+    let report = Sim.Prof.report () in
+    Sim.Prof.print_top Format.err_formatter;
+    let oc = open_out path in
+    output_string oc
+      (Eval.Json.to_string ~indent:2 (Eval.Telemetry.prof_to_json report));
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote profile to %s\n" path
+
 (* Output context shared by every subcommand: rendering mode, optional
    JSON sink, and the domain-pool size.  [extra] holds additional
    top-level JSON sections (e.g. telemetry) — empty for every command
@@ -96,14 +122,16 @@ type ctx = {
   json : string option;
   collected : Eval.Report.t list ref;
   extra : (string * Eval.Json.t) list ref;
+  prof_out : string option;
 }
 
 let ctx_term =
   Term.(
-    const (fun csv json jobs ->
+    const (fun csv json jobs prof_out ->
         Sim.Pool.set_jobs jobs;
-        { csv; json; collected = ref []; extra = ref [] })
-    $ csv_arg $ json_arg $ jobs_arg)
+        prof_setup prof_out;
+        { csv; json; collected = ref []; extra = ref []; prof_out })
+    $ csv_arg $ json_arg $ jobs_arg $ prof_out_arg)
 
 let emit ctx report =
   ctx.collected := report :: !(ctx.collected);
@@ -130,10 +158,12 @@ let write_json ctx =
     output_char oc '\n';
     close_out oc
 
-(* Run a subcommand body, then flush the JSON sink if requested. *)
+(* Run a subcommand body, then flush the JSON sink and the profile
+   report if requested. *)
 let finishing ctx body =
   body ();
-  write_json ctx
+  write_json ctx;
+  prof_finish ctx.prof_out
 
 let scenario_count_arg =
   Arg.(
@@ -224,14 +254,20 @@ let trace_out_arg =
            .jsonl, Chrome trace_event JSON (chrome://tracing, Perfetto) \
            otherwise.")
 
-(* Event logs go to FILE as JSONL or a Chrome trace, by file suffix. *)
+(* Event logs go to FILE as JSONL or a Chrome trace, by file suffix.
+   When the profiler is on, Chrome traces also carry the engine spans
+   recorded so far, merged onto the protocol timeline. *)
 let write_trace path events =
   let oc = open_out path in
   if Filename.check_suffix path ".jsonl" then
     output_string oc (Eval.Telemetry.events_to_jsonl events)
   else begin
+    let prof =
+      if Sim.Prof.enabled () then Some (Sim.Prof.report ()) else None
+    in
     output_string oc
-      (Eval.Json.to_string ~indent:2 (Eval.Telemetry.events_to_chrome events));
+      (Eval.Json.to_string ~indent:2
+         (Eval.Telemetry.events_to_chrome ?prof events));
     output_char oc '\n'
   end;
   close_out oc;
@@ -589,8 +625,9 @@ let resolve_filters network filters =
     filters
 
 let run_audit network seed scenarios detector loss gray trace_file filters
-    json_out jobs =
+    json_out prof_out jobs =
   Sim.Pool.set_jobs jobs;
+  prof_setup prof_out;
   let filters = resolve_filters network filters in
   let source, events, context =
     match trace_file with
@@ -637,6 +674,7 @@ let run_audit network seed scenarios detector loss gray trace_file filters
     output_char oc '\n';
     close_out oc;
     Printf.printf "wrote audit to %s\n" path);
+  prof_finish prof_out;
   if result.Eval.Audit.total_violations > 0 then exit 1
 
 let audit_cmd =
@@ -650,10 +688,11 @@ let audit_cmd =
   Cmd.v
     (Cmd.info "audit" ~doc)
     Term.(
-      const (fun n s sc d l g tr f j jobs ->
-          run_audit n s sc d l g tr f j jobs)
+      const (fun n s sc d l g tr f j p jobs ->
+          run_audit n s sc d l g tr f j p jobs)
       $ network_arg $ seed_arg $ scenario_count_arg $ detector_arg $ loss_arg
-      $ gray_arg $ trace_in_arg $ filter_arg $ audit_json_arg $ jobs_arg)
+      $ gray_arg $ trace_in_arg $ filter_arg $ audit_json_arg $ prof_out_arg
+      $ jobs_arg)
 
 (* ---------- swarm ---------- *)
 
@@ -736,9 +775,18 @@ let swarm_json_arg =
         ~doc:"Write the swarm summary to FILE (schema bcp-swarm/v1).")
 
 let run_swarm network seed budget wall strategy detector max_faults horizon
-    json_out artifact_dir jobs =
+    use_metrics trace_out json_out artifact_dir prof_out jobs =
   Sim.Pool.set_jobs jobs;
-  let est = Eval.Setup.build network in
+  prof_setup prof_out;
+  let telemetry = use_metrics || trace_out <> None in
+  (* Establishment-time multiplexing updates land at time 0.0 under the
+     pseudo-scenario -1, ahead of the per-scenario swarm streams. *)
+  let setup_events = ref [] in
+  let mux_sink ev = setup_events := (-1, 0.0, ev) :: !setup_events in
+  let est =
+    if telemetry then Eval.Setup.build ~mux_sink network
+    else Eval.Setup.build network
+  in
   let deadline =
     Option.map
       (fun secs ->
@@ -746,13 +794,35 @@ let run_swarm network seed budget wall strategy detector max_faults horizon
         fun () -> Unix.gettimeofday () -. t0 >= secs)
       wall
   in
-  let report =
-    Eval.Swarm.run ~seed ~budget ~strategy ~detector ~max_faults ?horizon
-      ?deadline
-      ~network:(Eval.Setup.network_label network)
-      est.Eval.Setup.ns
+  let network_label = Eval.Setup.network_label network in
+  let report, tele =
+    if telemetry then begin
+      let report, tele =
+        Eval.Swarm.run_telemetry ~seed ~budget ~strategy ~detector ~max_faults
+          ?horizon ?deadline ~network:network_label est.Eval.Setup.ns
+      in
+      (report, Some tele)
+    end
+    else
+      ( Eval.Swarm.run ~seed ~budget ~strategy ~detector ~max_faults ?horizon
+          ?deadline ~network:network_label est.Eval.Setup.ns,
+        None )
   in
   Eval.Swarm.print report;
+  (match tele with
+  | None -> ()
+  | Some t ->
+    if use_metrics then begin
+      let phases =
+        Eval.Recovery_delay.phases_of_snapshot t.Eval.Swarm.metrics
+      in
+      Eval.Report.print (Eval.Recovery_delay.phases_report phases);
+      Eval.Report.print (Eval.Telemetry.metrics_report t.Eval.Swarm.metrics)
+    end;
+    match trace_out with
+    | None -> ()
+    | Some path ->
+      write_trace path (List.rev !setup_events @ t.Eval.Swarm.events));
   (match json_out with
   | None -> ()
   | Some path ->
@@ -779,6 +849,7 @@ let run_swarm network seed budget wall strategy detector max_faults horizon
         Printf.printf "wrote artifact %s\n" path)
       report.Eval.Swarm.violations
   | Some _ -> ());
+  prof_finish prof_out;
   if report.Eval.Swarm.violations <> [] then exit 1
 
 let swarm_cmd =
@@ -789,16 +860,19 @@ let swarm_cmd =
      by the online invariant monitor. Violating runs are delta-debugged to \
      minimal replayable bcp-audit/v1 artifacts; exit 1 if any violation \
      survived. Summaries (--json, schema bcp-swarm/v1) are byte-identical \
-     across runs and --jobs settings."
+     across runs and --jobs settings, with or without --metrics and \
+     --trace-out (which export the telemetry every scenario records for \
+     its invariant monitor anyway)."
   in
   Cmd.v
     (Cmd.info "swarm" ~doc)
     Term.(
-      const (fun n s b w st d mf h j ad jobs ->
-          run_swarm n s b w st d mf h j ad jobs)
+      const (fun n s b w st d mf h m t j ad p jobs ->
+          run_swarm n s b w st d mf h m t j ad p jobs)
       $ network_arg $ seed_arg $ budget_arg $ wall_arg $ strategy_arg
-      $ detector_arg $ max_faults_arg $ horizon_arg $ swarm_json_arg
-      $ artifact_dir_arg $ jobs_arg)
+      $ detector_arg $ max_faults_arg $ horizon_arg $ metrics_arg
+      $ trace_out_arg $ swarm_json_arg $ artifact_dir_arg $ prof_out_arg
+      $ jobs_arg)
 
 (* ---------- churn ---------- *)
 
@@ -915,8 +989,10 @@ let churn_json_arg =
         ~doc:"Write the churn summary to FILE (schema bcp-churn/v1).")
 
 let run_churn network seed events offered holding bandwidth backups fault_every
-    horizon windows detector max_blocking use_metrics trace_out json_out jobs =
+    horizon windows detector max_blocking use_metrics trace_out json_out
+    prof_out jobs =
   Sim.Pool.set_jobs jobs;
+  prof_setup prof_out;
   let horizon = Option.value ~default:0.25 horizon in
   let t0 = Unix.gettimeofday () in
   let outcomes, tele =
@@ -975,6 +1051,7 @@ let run_churn network seed events offered holding bandwidth backups fault_every
   Printf.printf "timing: churn wall %.3f s (%d lifecycle events, %.0f events/s)\n"
     wall total_events
     (float_of_int total_events /. wall);
+  prof_finish prof_out;
   let violations = Eval.Churn.total_violations outcomes in
   if violations > 0 then begin
     Printf.eprintf "churn: %d monitor violation(s) during fault episodes\n"
@@ -1008,12 +1085,12 @@ let churn_cmd =
   Cmd.v
     (Cmd.info "churn" ~doc)
     Term.(
-      const (fun n s e off h bw b fe hz w d mb m t j jobs ->
-          run_churn n s e off h bw b fe hz w d mb m t j jobs)
+      const (fun n s e off h bw b fe hz w d mb m t j p jobs ->
+          run_churn n s e off h bw b fe hz w d mb m t j p jobs)
       $ network_arg $ seed_arg $ events_arg $ offered_arg $ holding_arg
       $ churn_bandwidth_arg $ backups_arg $ fault_every_arg $ horizon_arg
       $ windows_arg $ detector_arg $ max_blocking_arg $ metrics_arg
-      $ trace_out_arg $ churn_json_arg $ jobs_arg)
+      $ trace_out_arg $ churn_json_arg $ prof_out_arg $ jobs_arg)
 
 let run_markov ctx () =
   let rows = Eval.Reliability_cmp.compute ~hops:[ 1; 2; 4; 7; 10; 14 ] () in

@@ -169,8 +169,11 @@ let route_backup ?tie_break ?(strategy = Min_hops)
         (Routing.Dijkstra.shortest_path ~cost ~node_ok ~max_hops:budget topo
            ~src ~dst))
 
-(* Add a routed backup to the connection and the network tables. *)
+(* Add a routed backup to the connection and the network tables.  The
+   span isolates the registration share of establishment (mux table
+   insertion dominates it) from the routing searches around it. *)
 let attach ns conn backup =
+  Sim.Prof.span "establish.register" @@ fun () ->
   conn.Dconn.backups <- conn.Dconn.backups @ [ backup ];
   Netstate.register_backup ns conn backup
 
@@ -183,10 +186,12 @@ let establish ?tie_break ?backup_routing ns ~conn_id request =
   if request.backups < 0 then invalid_arg "Establish.establish: negative backups";
   if request.mux_degree < 0 then
     invalid_arg "Establish.establish: negative mux degree";
+  Sim.Prof.span "establish.serial" @@ fun () ->
   let rnmp = Netstate.rnmp ns in
   match
-    Rtchan.Rnmp.establish ?tie_break rnmp ~src:request.src ~dst:request.dst
-      ~traffic:request.traffic ~qos:request.qos
+    Sim.Prof.span "establish.primary" (fun () ->
+        Rtchan.Rnmp.establish ?tie_break rnmp ~src:request.src ~dst:request.dst
+          ~traffic:request.traffic ~qos:request.qos)
   with
   | Error r -> Error (Primary_rejected r)
   | Ok primary ->
@@ -216,8 +221,9 @@ let establish ?tie_break ?backup_routing ns ~conn_id request =
           primary.Rtchan.Channel.path :: List.map (fun b -> b.Dconn.path) conn.Dconn.backups
         in
         match
-          route_backup ?tie_break ?strategy:backup_routing ns ~conn ~bid
-            ~serial ~nu ~avoid
+          Sim.Prof.span "establish.backup_route" (fun () ->
+              route_backup ?tie_break ?strategy:backup_routing ns ~conn ~bid
+                ~serial ~nu ~avoid)
         with
         | None -> Error (Backup_rejected serial)
         | Some path ->
@@ -437,6 +443,7 @@ type plan = {
 let plan ns ~conn_id request =
   if request.backups < 0 then invalid_arg "Establish.plan: negative backups";
   if request.mux_degree < 0 then invalid_arg "Establish.plan: negative mux degree";
+  Sim.Prof.span "establish.plan" @@ fun () ->
   let topo = Netstate.topology ns in
   let res = Netstate.resources ns in
   let buf = Ids.Ivec.create () in
@@ -450,6 +457,7 @@ let plan ns ~conn_id request =
   in
   let close_segment () = Ids.Ivec.push seg (Ids.Ivec.length buf / 2) in
   let finish outcome =
+    Sim.Prof.count ~by:(Ids.Ivec.length buf / 2) "establish.plan.probes";
     {
       plan_conn_id = conn_id;
       plan_request = request;
@@ -568,36 +576,55 @@ let plan_valid ns plan =
   in
   let ok = ref true in
   let i = ref 0 in
+  let recomputed = ref 0 in
   Array.iteri
     (fun serial stop ->
       probe := None;
       while !ok && !i < stop do
         let lv = data.(2 * !i) and version = data.((2 * !i) + 1) in
         let link = lv lsr 1 in
-        (if Netstate.link_version ns ~link <> version then
+        (if Netstate.link_version ns ~link <> version then begin
+           incr recomputed;
            let live =
              if serial = 0 then Rtchan.Resource.can_reserve_primary res link bw
              else Netstate.backup_admissible_probe ns (probe_for serial) ~link
            in
-           if live <> (lv land 1 = 1) then ok := false);
+           if live <> (lv land 1 = 1) then ok := false
+         end);
         incr i
       done;
       i := stop)
     seg;
+  if !recomputed > 0 then
+    Sim.Prof.count ~by:!recomputed "establish.plan.recompute";
   !ok
+
+(* Merge-outcome counters: [replay] plans skipped the serial search
+   entirely, [fallback] plans were recomputed by the ordinary serial
+   path.  First-class observability for the speculative merge — its hit
+   rate was previously invisible. *)
+let commit_replay () = Sim.Prof.count "establish.commit.replay"
+
+let commit_fallback r =
+  Sim.Prof.count "establish.commit.fallback";
+  r
 
 let try_commit ns plan =
   match plan.plan_outcome with
   | Error (Primary_rejected _ as e) ->
     (* A valid primary rejection consumed nothing: count it and move on. *)
-    if plan_valid ns plan then Some (Error e) else None
+    if plan_valid ns plan then begin
+      commit_replay ();
+      Some (Error e)
+    end
+    else commit_fallback None
   | Error _ ->
     (* A backup rejection consumes a channel id and backup ids before
        rolling back; replaying that consumption is exactly the serial
        path, so always recompute. *)
-    None
+    commit_fallback None
   | Ok (primary_path, backups) ->
-    if not (plan_valid ns plan) then None
+    if not (plan_valid ns plan) then commit_fallback None
     else begin
       let rnmp = Netstate.rnmp ns in
       match
@@ -606,7 +633,7 @@ let try_commit ns plan =
       with
       | Error _ ->
         (* Unreachable when the plan validated; recompute serially. *)
-        None
+        commit_fallback None
       | Ok primary ->
         Netstate.bump_path ns primary_path;
         let conn =
@@ -635,5 +662,6 @@ let try_commit ns plan =
               })
           backups;
         Netstate.add_dconn ns conn;
+        commit_replay ();
         Some (Ok conn)
     end

@@ -317,6 +317,9 @@ let note_unregistered t bid =
     Hashtbl.remove t.reg_count bid;
     t.retired <- Iset.add bid t.retired;
     if Iset.cardinal t.retired >= 128 then begin
+      (* One batched S-cache sweep per 128 retired ids; the counter
+         exposes the sweep cadence (kernel batches) under churn. *)
+      Sim.Prof.count "mux.scache.sweep";
       let doomed = ref [] in
       Hashtbl.iter
         (fun ((a, b) as key) _ ->
@@ -377,6 +380,7 @@ let free_slot tab s =
   tab.free_len <- tab.free_len + 1
 
 let register t ~link info =
+  Sim.Prof.count "mux.register";
   let tab = table t link in
   if Hashtbl.mem tab.index info.backup then
     invalid_arg
@@ -442,6 +446,7 @@ let unregister t ~link ~backup =
   match Hashtbl.find_opt tab.index backup with
   | None -> ()
   | Some victim ->
+    Sim.Prof.count "mux.unregister";
     let vbw = tab.bws.(victim) in
     let pi = Ids.Ivec.length tab.pis.(victim) in
     let psi = tab.live - pi - 1 in
@@ -595,6 +600,7 @@ type probe = {
 }
 
 let probe t info =
+  Sim.Prof.count "mux.probe";
   {
     pt = t;
     pinfo = info;

@@ -93,6 +93,7 @@ let establish_request_of (r : Workload.Generator.request) =
    on the domain pool and merge deterministically in cell order. *)
 let run_cell ~telemetry ~seed ~events ~fault_every ~horizon ~detector ~windows
     ~network ~cell params =
+  Sim.Prof.span "churn.cell" @@ fun () ->
   let topo = Setup.topology_of network in
   let ns = Bcp.Netstate.create topo () in
   let cseed = Sim.Prng.derive ~seed ~index:cell in
@@ -127,6 +128,7 @@ let run_cell ~telemetry ~seed ~events ~fault_every ~horizon ~detector ~windows
   let wsize = max 1 (events / max 1 windows) in
   let w_arr = ref 0 and w_blk = ref 0 and w_dep = ref 0 in
   let close_window () =
+    Sim.Prof.span "churn.window" @@ fun () ->
     let total, widest, free = mux_pressure ns in
     if total > !peak_mux then peak_mux := total;
     if free < !min_free then min_free := free;
@@ -155,6 +157,7 @@ let run_cell ~telemetry ~seed ~events ~fault_every ~horizon ~detector ~windows
      connections that failed to recover within the horizon as dropped:
      torn down and re-admitted under fresh ids. *)
   let run_episode ~at =
+    Sim.Prof.span "churn.episode" @@ fun () ->
     incr episodes;
     let ep = !episodes in
     let link = Sim.Prng.int erng (Net.Topology.num_links topo) in

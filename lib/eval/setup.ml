@@ -117,29 +117,34 @@ let establish_all ?(seed = 42) ?policy ?backup_routing ?(progress_every = 250) ?
       let stop = min n (!i + chunk) in
       let idxs = List.init (stop - !i) (fun k -> !i + k) in
       let plans =
-        Sim.Pool.map
-          (fun j -> Bcp.Establish.plan ns ~conn_id:j (to_req j arr.(j)))
-          idxs
+        Sim.Prof.span "establish.plan_batch" (fun () ->
+            Sim.Pool.map
+              (fun j -> Bcp.Establish.plan ns ~conn_id:j (to_req j arr.(j)))
+              idxs)
       in
-      List.iter2
-        (fun j p ->
-          let outcome =
-            match Bcp.Establish.try_commit ns p with
-            | Some r -> r
-            | None ->
-              Bcp.Establish.establish ?backup_routing ns ~conn_id:j
-                (to_req j arr.(j))
-          in
-          note j outcome)
-        idxs plans;
+      Sim.Prof.span "establish.merge" (fun () ->
+          List.iter2
+            (fun j p ->
+              let outcome =
+                match Bcp.Establish.try_commit ns p with
+                | Some r -> r
+                | None ->
+                  Bcp.Establish.establish ?backup_routing ns ~conn_id:j
+                    (to_req j arr.(j))
+              in
+              note j outcome)
+            idxs plans);
       i := stop
     done
   end
   else
-    List.iteri
-      (fun i r ->
-        note i (Bcp.Establish.establish ?backup_routing ns ~conn_id:i (to_req i r)))
-      requests;
+    Sim.Prof.span "establish.serial_batch" (fun () ->
+        List.iteri
+          (fun i r ->
+            note i
+              (Bcp.Establish.establish ?backup_routing ns ~conn_id:i
+                 (to_req i r)))
+          requests);
   {
     ns;
     established = !established;

@@ -242,7 +242,26 @@ let event_tid = function
   | Sim.Event.Fault { component = Sim.Event.Node v; _ } -> v
   | Sim.Event.Fault { component = Sim.Event.Link l; _ } -> l
 
-let events_to_chrome events =
+(* Engine spans share the timeline with protocol events but live under
+   their own process id, so the Chrome/Perfetto UI shows one track group
+   per scenario (instant protocol events, simulated time) above one
+   "engine" group (complete spans per domain, wall time). *)
+let prof_pid = 1_000_000
+
+let prof_span_to_chrome (s : Sim.Prof.raw_span) =
+  Json.Obj
+    [
+      ("name", Json.String s.Sim.Prof.span_name);
+      ("cat", Json.String "engine");
+      ("ph", Json.String "X");
+      ("ts", Json.Float (s.Sim.Prof.start_ns /. 1e3));
+      ("dur", Json.Float ((s.Sim.Prof.stop_ns -. s.Sim.Prof.start_ns) /. 1e3));
+      ("pid", Json.Int prof_pid);
+      ("tid", Json.Int s.Sim.Prof.domain);
+      ("args", Json.Obj [ ("depth", Json.Int s.Sim.Prof.depth) ]);
+    ]
+
+let events_to_chrome ?prof events =
   let trace_events =
     List.map
       (fun (scenario, time, ev) ->
@@ -259,7 +278,13 @@ let events_to_chrome events =
           ])
       events
   in
-  Json.Obj [ ("traceEvents", Json.List trace_events) ]
+  let span_events =
+    match prof with
+    | None -> []
+    | Some (r : Sim.Prof.report) ->
+      List.map prof_span_to_chrome r.Sim.Prof.raw_spans
+  in
+  Json.Obj [ ("traceEvents", Json.List (trace_events @ span_events)) ]
 
 (* ---------- metrics ---------- *)
 
@@ -366,6 +391,34 @@ let metrics_of_json j =
       (Ok []) items
     |> Result.map List.rev
   | _ -> Error "metrics: expected a JSON array"
+
+(* ---------- engine profile (Sim.Prof) ---------- *)
+
+let prof_span_to_json (s : Sim.Prof.span_stat) =
+  Json.Obj
+    [
+      ("name", Json.String s.Sim.Prof.name);
+      ("count", Json.Int s.Sim.Prof.count);
+      ("total_ns", Json.Float s.Sim.Prof.total_ns);
+      ("self_ns", Json.Float s.Sim.Prof.self_ns);
+      ("minor_words", Json.Float s.Sim.Prof.minor_words);
+      ("major_words", Json.Float s.Sim.Prof.major_words);
+      ("minor_collections", Json.Int s.Sim.Prof.minor_collections);
+      ("major_collections", Json.Int s.Sim.Prof.major_collections);
+    ]
+
+let prof_to_json (r : Sim.Prof.report) =
+  Json.Obj
+    [
+      ("schema", Json.String "bcp-prof/v1");
+      ("wall_ns", Json.Float r.Sim.Prof.wall_ns);
+      ("spans", Json.List (List.map prof_span_to_json r.Sim.Prof.spans));
+      ( "counters",
+        Json.Obj
+          (List.map (fun (k, v) -> (k, Json.Int v)) r.Sim.Prof.counters) );
+      ("raw_spans", Json.Int (List.length r.Sim.Prof.raw_spans));
+      ("dropped_spans", Json.Int r.Sim.Prof.dropped_spans);
+    ]
 
 let render_labels = function
   | [] -> ""

@@ -17,10 +17,14 @@ val events_to_jsonl : (int * float * Sim.Event.t) list -> string
 (** One compact JSON object per line for each (scenario, time, event)
     triple, with ["scenario"] and ["time"] members prepended. *)
 
-val events_to_chrome : (int * float * Sim.Event.t) list -> Json.t
+val events_to_chrome :
+  ?prof:Sim.Prof.report -> (int * float * Sim.Event.t) list -> Json.t
 (** Chrome [trace_event] JSON (load in [chrome://tracing] or Perfetto):
     instant events, [ts] in microseconds, [pid] = scenario index,
-    [tid] = acting node (or link / connection) id. *)
+    [tid] = acting node (or link / connection) id.  With [?prof], engine
+    spans are merged onto the same timeline as complete ([ph = "X"])
+    events under process id 1&nbsp;000&nbsp;000 with [tid] = domain id,
+    so one load shows protocol phases over engine spans. *)
 
 val events_of_jsonl : string -> ((int * float * Sim.Event.t) list, string) result
 (** Inverse of {!events_to_jsonl} (blank lines skipped; errors name the
@@ -47,3 +51,10 @@ val metrics_of_json : Json.t -> (Sim.Metrics.snapshot, string) result
 
 val metrics_report : Sim.Metrics.snapshot -> Report.t
 (** Text table: one row per metric. *)
+
+val prof_to_json : Sim.Prof.report -> Json.t
+(** Engine-profile report as a [bcp-prof/v1] object: aggregated spans
+    (count, total/self wall ns, GC deltas), merged counters, and the
+    raw-span/dropped-span tallies.  Raw spans themselves are exported
+    through {!events_to_chrome}'s [?prof] argument, not duplicated
+    here. *)

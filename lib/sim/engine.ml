@@ -188,6 +188,7 @@ let schedule ?(klass = Internal) t ~at action =
   t.next_seq <- t.next_seq + 1;
   t.live <- t.live + 1;
   heap_push t s;
+  Prof.count "engine.scheduled";
   pack ~gen:t.gens.(s) ~slot:s
 
 let schedule_after ?(klass = Internal) t ~delay action =
@@ -214,10 +215,14 @@ let rec step t =
   else begin
     let s = heap_pop t in
     if Bytes.get t.cancelled s = '\001' then begin
+      (* Counters observe the dispatch stream without influencing it:
+         one predictable branch each when profiling is disabled. *)
+      Prof.count "engine.events.cancelled";
       free_slot t s;
       step t
     end
     else begin
+      Prof.count "engine.events";
       t.clock <- t.times.(s);
       t.live <- t.live - 1;
       let action = t.actions.(s) in
@@ -230,6 +235,7 @@ let rec step t =
   end
 
 let run ?until t =
+  Prof.span "engine.run" @@ fun () ->
   match until with
   | None -> while step t do () done
   | Some horizon ->

@@ -4,7 +4,7 @@
    Determinism comes from writing results into per-index slots — the
    interleaving of domains is invisible to the caller. *)
 
-type job = { run : int -> unit; total : int }
+type job = { run : worker:int -> int -> unit; total : int }
 
 type t = {
   jobs : int;
@@ -20,14 +20,27 @@ type t = {
   mutable domains : unit Domain.t list;
 }
 
-(* Drain tasks of generation [gen]; the mutex is held on entry and exit. *)
-let drain t ~gen (j : job) =
+(* One task, with profiler accounting when enabled: every task is a
+   "pool.task" span (count = tasks run, total = busy time), tasks picked
+   up by a spawned domain also bump the steal counter.  The span closes
+   before the mutex is re-taken, so lock waits never pollute busy time. *)
+let exec_task (j : job) ~worker i =
+  if Prof.enabled () then begin
+    if worker > 0 then Prof.count "pool.tasks.stolen";
+    Prof.span "pool.task" (fun () -> j.run ~worker i)
+  end
+  else j.run ~worker i
+
+(* Drain tasks of generation [gen] as worker [worker] (0 = the calling
+   domain, >= 1 = spawned domains); the mutex is held on entry and
+   exit. *)
+let drain t ~worker ~gen (j : job) =
   let rec loop () =
     if t.gen = gen && t.next < j.total then begin
       let i = t.next in
       t.next <- i + 1;
       Mutex.unlock t.mutex;
-      j.run i;
+      exec_task j ~worker i;
       Mutex.lock t.mutex;
       t.completed <- t.completed + 1;
       if t.completed >= j.total then Condition.broadcast t.finished;
@@ -36,7 +49,7 @@ let drain t ~gen (j : job) =
   in
   loop ()
 
-let rec worker_loop t ~last_gen =
+let rec worker_loop t ~worker ~last_gen =
   Mutex.lock t.mutex;
   while (not t.stop) && t.gen = last_gen do
     Condition.wait t.work t.mutex
@@ -47,9 +60,9 @@ let rec worker_loop t ~last_gen =
     (* The master may have drained the whole job and cleared it before
        this worker woke up — then there is nothing to do but catch up
        on the generation counter. *)
-    (match t.job with Some j -> drain t ~gen j | None -> ());
+    (match t.job with Some j -> drain t ~worker ~gen j | None -> ());
     Mutex.unlock t.mutex;
-    worker_loop t ~last_gen:gen
+    worker_loop t ~worker ~last_gen:gen
   end
 
 let create ~jobs =
@@ -70,8 +83,8 @@ let create ~jobs =
     }
   in
   t.domains <-
-    List.init (jobs - 1) (fun _ ->
-        Domain.spawn (fun () -> worker_loop t ~last_gen:0));
+    List.init (jobs - 1) (fun k ->
+        Domain.spawn (fun () -> worker_loop t ~worker:(k + 1) ~last_gen:0));
   t
 
 let jobs t = t.jobs
@@ -81,10 +94,12 @@ let run_tasks t ~total run =
     Mutex.lock t.mutex;
     if t.busy || t.stop || t.jobs = 1 then begin
       (* Reentrant call from inside a task, or no workers: run inline.
-         Sequential index order keeps nested maps deterministic. *)
+         Sequential index order keeps nested maps deterministic.  Worker
+         -1 marks tasks not dealt to a pool domain. *)
       Mutex.unlock t.mutex;
+      let j = { run; total } in
       for i = 0 to total - 1 do
-        run i
+        exec_task j ~worker:(-1) i
       done
     end
     else begin
@@ -95,7 +110,7 @@ let run_tasks t ~total run =
       t.completed <- 0;
       let gen = t.gen in
       Condition.broadcast t.work;
-      drain t ~gen { run; total };
+      drain t ~worker:0 ~gen { run; total };
       while t.completed < total do
         Condition.wait t.finished t.mutex
       done;
@@ -105,25 +120,38 @@ let run_tasks t ~total run =
     end
   end
 
-exception Task_error of exn * Printexc.raw_backtrace
+exception Task_failed of { worker : int; task : int; error : exn }
+
+let () =
+  Printexc.register_printer (function
+    | Task_failed { worker; task; error } ->
+      Some
+        (Printf.sprintf "Sim.Pool.Task_failed: task %d on %s: %s" task
+           (if worker < 0 then "the calling domain (inline)"
+            else Printf.sprintf "worker %d" worker)
+           (Printexc.to_string error))
+    | _ -> None)
 
 let map_array t f xs =
   let n = Array.length xs in
   if n = 0 then [||]
   else begin
     let out = Array.make n None in
-    let run i =
+    let run ~worker i =
       match f xs.(i) with
       | y -> out.(i) <- Some (Ok y)
-      | exception e ->
-        out.(i) <- Some (Error (Task_error (e, Printexc.get_raw_backtrace ())))
+      | exception error ->
+        out.(i) <-
+          Some
+            (Error
+               ( Task_failed { worker; task = i; error },
+                 Printexc.get_raw_backtrace () ))
     in
-    run_tasks t ~total:n run;
+    Prof.span "pool.map" (fun () -> run_tasks t ~total:n run);
     Array.map
       (function
         | Some (Ok y) -> y
-        | Some (Error (Task_error (e, bt))) -> Printexc.raise_with_backtrace e bt
-        | Some (Error e) -> raise e
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
         | None -> assert false)
       out
   end

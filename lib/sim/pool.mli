@@ -20,13 +20,21 @@ val create : jobs:int -> t
 val jobs : t -> int
 (** Configured parallelism (including the calling domain). *)
 
+exception Task_failed of { worker : int; task : int; error : exn }
+(** A task of a parallel map raised [error].  [task] is the index into
+    the mapped array (for scenario sweeps, the scenario index) and
+    [worker] the pool domain that ran it (0 = the calling domain, -1 =
+    run inline by a nested map), so a failure names exactly which
+    scenario on which domain died.  A printer is registered. *)
+
 val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 (** Order-preserving parallel map.  Tasks are dealt one index at a time
     to idle domains; [f] runs concurrently, so it must not mutate shared
     state.  If one or more tasks raise, every task still runs to
     completion and the exception of the {e lowest} index is re-raised in
-    the caller (deterministic regardless of scheduling).  Calls from
-    inside a running task degrade to a sequential map instead of
+    the caller as {!Task_failed} (deterministic regardless of
+    scheduling; the original backtrace is preserved).  Calls from inside
+    a running task degrade to a sequential map instead of
     deadlocking. *)
 
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list

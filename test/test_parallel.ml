@@ -18,14 +18,21 @@ let test_pool_ordering () =
 
 let test_pool_exception () =
   Sim.Pool.with_pool ~jobs:3 (fun p ->
-      (* The exception of the lowest-index failing task is re-raised. *)
+      (* The exception of the lowest-index failing task is re-raised,
+         wrapped so the failing task index (and the worker that ran it)
+         survive into the report. *)
       match
         Sim.Pool.map_list p
           (fun x -> if x mod 4 = 3 then failwith (string_of_int x) else x)
           (List.init 32 Fun.id)
       with
-      | _ -> Alcotest.fail "expected Failure"
-      | exception Failure msg -> Alcotest.(check string) "lowest index" "3" msg)
+      | _ -> Alcotest.fail "expected Task_failed"
+      | exception Sim.Pool.Task_failed { worker; task; error } ->
+        Alcotest.(check int) "lowest task index" 3 task;
+        Alcotest.(check bool) "worker index in range" true (worker >= -1);
+        (match error with
+        | Failure msg -> Alcotest.(check string) "payload" "3" msg
+        | e -> Alcotest.fail ("unexpected payload: " ^ Printexc.to_string e)))
 
 let test_pool_reuse () =
   (* The same pool must serve many consecutive maps (domains are reused,
