@@ -12,9 +12,10 @@
    can grow it with a cache and publish it as an artifact.
 
    [report] reads every line back and prints the drift of each series:
-   wall-clock timings and profile span self-times as first/last/min/max
-   with the relative change, result cells as distinct-value counts
-   (a correctness cell that ever changes is drift worth reading).
+   wall-clock timings, profile span self-times and profiler counters
+   (probes, pruned edges) as first/last/min/max with the relative
+   change, result cells as distinct-value counts (a correctness cell
+   that ever changes is drift worth reading).
 
    Exit codes: 0 ok, 2 usage / IO / parse error. *)
 
@@ -182,7 +183,19 @@ let collect line =
         | Some name, Some self ->
           push series (Printf.sprintf "span %s (self ms)" name) (self /. 1e6)
         | _ -> ())
-      (list_member "spans" prof)
+      (list_member "spans" prof);
+    (* Profiler counters (admission probes, pruned edges, oracle hits…)
+       are series too: the nightly report tracks probe-count drift the
+       same way it tracks wall clock. *)
+    (match Eval.Json.member "counters" prof with
+    | Some (Eval.Json.Obj kvs) ->
+      List.iter
+        (fun (name, v) ->
+          Option.iter
+            (push series (Printf.sprintf "counter %s" name))
+            (Eval.Json.to_float_opt v))
+        kvs
+    | _ -> ())
 
 let report history_path suite_filter =
   let lines = load_lines history_path suite_filter in
@@ -199,8 +212,8 @@ let report history_path suite_filter =
   let keys = List.rev !order in
   let timing_keys = List.filter (Hashtbl.mem series) keys in
   if timing_keys <> [] then begin
-    Printf.printf "%-58s %9s %9s %9s %9s %8s\n" "timing / span series" "first"
-      "last" "min" "max" "drift";
+    Printf.printf "%-58s %9s %9s %9s %9s %8s\n" "timing / span / counter series"
+      "first" "last" "min" "max" "drift";
     List.iter
       (fun key ->
         let vs = List.rev !(Hashtbl.find series key) in

@@ -193,6 +193,15 @@ let part2 () =
    Bechamel stays the harness for the --micro suite, but here one
    gettimeofday loop per (tier, kernel) keeps the scaling run cheap. *)
 let time_ns_per_op f =
+  (* Timing loops are synthetic: their repetition counts adapt to machine
+     speed, so letting them hit [Sim.Prof] counters (mux.register from
+     the register+unregister kernel, mux.probe from required_with) would
+     make profiled counter totals vary run to run and break the CI
+     invariant that workload counters are identical across job counts.
+     Suspend the profiler for the duration; only real workload counts. *)
+  let profiled = Sim.Prof.enabled () in
+  if profiled then Sim.Prof.disable ();
+  Fun.protect ~finally:(fun () -> if profiled then Sim.Prof.enable ()) @@ fun () ->
   f ();
   (* warm-up *)
   let rec run reps =
@@ -230,22 +239,154 @@ let busiest_link_candidate ns =
   | i0 :: _ ->
     Some (!busiest, { i0 with Bcp.Mux.backup = max_int / 2; conn = max_int / 2 })
 
-let scaling () =
+let build_tier (label, net) =
+  let t0 = Unix.gettimeofday () in
+  let est = Eval.Setup.build_scaled ~seed:!seed ~backups:1 ~mux_degree:3 net in
+  let dt = Unix.gettimeofday () -. t0 in
+  (label, net, est, dt)
+
+(* ------------- Routing micro tier: oracle vs reference --------------- *)
+
+(* Dry-runs [Establish.plan] over a fixed request sample against the
+   loaded scaling netstates, once with the routing acceleration on and
+   once under [set_oracle_disabled] — byte-identical outputs, different
+   work.  Probe counts and the path-digest comparison are deterministic
+   (table cells, gated against the committed baseline); the wall clocks
+   go through "timing:" lines and kernel_timings only, so the table stays
+   byte-identical across machines and job counts. *)
+let routing_sample = 256
+
+let routing_micro runs =
+  hr "ROUTING: goal-directed plan search, oracle vs reference";
   let seed = !seed in
+  let tiers =
+    List.filter
+      (fun (label, _, _, _) -> label = "16x16 torus" || label = "64x64 torus")
+      runs
+  in
+  let measure (label, _net, est, _dt) =
+    let ns = est.Eval.Setup.ns in
+    let topo = Bcp.Netstate.topology ns in
+    let rng = Sim.Prng.create (Sim.Prng.derive ~seed ~index:1009) in
+    let requests =
+      Workload.Generator.random_pairs rng ~backups:1 ~mux_degree:3 topo
+        ~count:routing_sample
+    in
+    (* Paths, not just path lengths: the acceleration must leave every
+       chosen link identical, and a plan's probe record is internal, so
+       the digest keeps exactly the plan's externally visible outcome. *)
+    let digest (p : Bcp.Establish.plan) =
+      match p.Bcp.Establish.plan_outcome with
+      | Ok (primary, backups) ->
+        Ok
+          ( Net.Path.links primary,
+            List.map
+              (fun (b : Bcp.Establish.planned_backup) ->
+                ( b.Bcp.Establish.pb_serial,
+                  Net.Path.links b.Bcp.Establish.pb_path ))
+              backups )
+      | Error e -> Error e
+    in
+    let run_mode disabled =
+      Routing.Shortest.set_oracle_disabled disabled;
+      let t0 = Unix.gettimeofday () in
+      let plans =
+        List.mapi
+          (fun i (r : Workload.Generator.request) ->
+            Bcp.Establish.plan ns ~conn_id:i
+              {
+                Bcp.Establish.src = r.Workload.Generator.src;
+                dst = r.dst;
+                traffic = r.traffic;
+                qos = r.qos;
+                backups = r.backups;
+                mux_degree = r.mux_degree;
+              })
+          requests
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      let probes =
+        List.fold_left (fun a p -> a + Bcp.Establish.plan_probes p) 0 plans
+      in
+      (List.map digest plans, probes, dt)
+    in
+    let oracle_digests, oracle_probes, oracle_dt = run_mode false in
+    let ref_digests, ref_probes, ref_dt = run_mode true in
+    Routing.Shortest.set_oracle_disabled false;
+    ( label,
+      oracle_probes,
+      ref_probes,
+      oracle_digests = ref_digests,
+      oracle_dt,
+      ref_dt )
+  in
+  let rows = List.map measure tiers in
+  table (fun () ->
+      let r =
+        Eval.Report.make
+          ~title:
+            (Printf.sprintf
+               "Routing micro: goal-directed plan search (%d dry-run plans, \
+                oracle vs reference)"
+               routing_sample)
+          ~columns:
+            [
+              "plans";
+              "probes (oracle)";
+              "probes (reference)";
+              "probes saved";
+              "paths";
+            ]
+      in
+      List.iter
+        (fun (label, op, rp, identical, _, _) ->
+          Eval.Report.add_row r ~label
+            ~cells:
+              [
+                string_of_int routing_sample;
+                string_of_int op;
+                string_of_int rp;
+                Eval.Report.pct
+                  (100.0 *. (1.0 -. (float_of_int op /. float_of_int rp)));
+                (if identical then "identical" else "DIVERGED");
+              ])
+        rows;
+      r);
+  List.iter
+    (fun (label, _, _, _, odt, rdt) ->
+      Printf.printf
+        "timing: routing %-12s oracle %8.1f ms (%6.0f us/plan), reference \
+         %8.1f ms, speedup %.1fx\n"
+        label (odt *. 1e3)
+        (odt *. 1e6 /. float_of_int routing_sample)
+        (rdt *. 1e3) (rdt /. odt);
+      kernel_timings :=
+        ( Printf.sprintf "routing plan oracle %s (ns/plan)" label,
+          odt *. 1e9 /. float_of_int routing_sample )
+        :: ( Printf.sprintf "routing plan reference %s (ns/plan)" label,
+             rdt *. 1e9 /. float_of_int routing_sample )
+        :: !kernel_timings)
+    rows
+
+(* Standalone --routing-only entry: builds just the two micro tiers (the
+   same seeded establishments the scaling suite builds, so the table
+   cells match the committed scaling baseline rows byte for byte). *)
+let routing_only_suite () =
+  let runs =
+    List.map build_tier
+      (List.filter
+         (fun (label, _) -> label = "16x16 torus" || label = "64x64 torus")
+         scaling_tiers)
+  in
+  routing_micro runs
+
+let scaling () =
   hr "SCALING: establishment at fixed per-node load (8 req/node, mux=3)";
   (* Tiers run serially (not through the pool): the 64x64 tier dominates
      wall time, and establishment itself shards across the pool's domains
      inside each tier (see [Eval.Setup.establish_all]) — which it could
      not do from inside a pool task, where nested maps run inline. *)
-  let runs =
-    List.map
-      (fun (label, net) ->
-        let t0 = Unix.gettimeofday () in
-        let est = Eval.Setup.build_scaled ~seed ~backups:1 ~mux_degree:3 net in
-        let dt = Unix.gettimeofday () -. t0 in
-        (label, net, est, dt))
-      scaling_tiers
-  in
+  let runs = List.map build_tier scaling_tiers in
   table (fun () ->
       let r =
         Eval.Report.make
@@ -316,7 +457,11 @@ let scaling () =
           :: (Printf.sprintf "scaling mux register+unregister %s (ns/op)" label,
               reg_ns)
           :: !kernel_timings)
-    runs
+    runs;
+  (* The routing micro tier rides on the loaded 16x16/64x64 states the
+     scaling run just built, so every gated scaling run also gates the
+     search-kernel equivalence cells. *)
+  routing_micro runs
 
 (* ------------- Churn suite: steady-state lifecycles (--churn-only) ---- *)
 
@@ -651,12 +796,13 @@ let () =
   let part2_only = ref false in
   let scaling_only = ref false in
   let churn_only = ref false in
+  let routing_only = ref false in
   let micro = ref false in
   let json_path = ref None in
   let omit_timings = ref false in
   let profile = ref false in
   let jobs = ref 1 in
-  let usage = "bench [--part1-only|--part2-only|--scaling-only|--churn-only] [--jobs N] [--json FILE] [--omit-timings] [--profile] [--micro] [--seed N]" in
+  let usage = "bench [--part1-only|--part2-only|--scaling-only|--churn-only|--routing-only] [--jobs N] [--json FILE] [--omit-timings] [--profile] [--micro] [--seed N]" in
   let spec =
     [
       ("--part1-only", Arg.Set part1_only, " Run only the full-scale 8x8 suite");
@@ -667,6 +813,10 @@ let () =
       ( "--churn-only",
         Arg.Set churn_only,
         " Run only the steady-state churn suite" );
+      ( "--routing-only",
+        Arg.Set routing_only,
+        " Run only the routing search micro tier (16x16 + 64x64, oracle vs \
+         reference)" );
       ("--jobs", Arg.Set_int jobs, "N Domains for scenario sweeps (default 1)");
       ( "--json",
         Arg.String (fun s -> json_path := Some s),
@@ -701,23 +851,29 @@ let () =
     + (if !part2_only then 1 else 0)
     + (if !scaling_only then 1 else 0)
     + (if !churn_only then 1 else 0)
+    + (if !routing_only then 1 else 0)
     > 1
   then
     die
-      "--part1-only, --part2-only, --scaling-only and --churn-only are \
-       mutually exclusive";
+      "--part1-only, --part2-only, --scaling-only, --churn-only and \
+       --routing-only are mutually exclusive";
   Sim.Pool.set_jobs !jobs;
   if !profile then Sim.Prof.enable ();
   let t0 = Unix.gettimeofday () in
-  if not (!part2_only || !scaling_only || !churn_only) then part1 ();
-  if not (!part1_only || !scaling_only || !churn_only) then part2 ();
+  if not (!part2_only || !scaling_only || !churn_only || !routing_only) then
+    part1 ();
+  if not (!part1_only || !scaling_only || !churn_only || !routing_only) then
+    part2 ();
   (* The scaling and churn tiers run in the full suite and under their
      --*-only flags; the part-1/part-2 selections stay exactly the
-     historical suites. *)
-  if !scaling_only || not (!part1_only || !part2_only || !churn_only) then
-    scaling ();
-  if !churn_only || not (!part1_only || !part2_only || !scaling_only) then
-    churn ();
+     historical suites.  The routing micro tier rides inside the scaling
+     suite (sharing its loaded netstates) and under --routing-only builds
+     just its own two tiers. *)
+  if !scaling_only || not (!part1_only || !part2_only || !churn_only || !routing_only)
+  then scaling ();
+  if !routing_only then routing_only_suite ();
+  if !churn_only || not (!part1_only || !part2_only || !scaling_only || !routing_only)
+  then churn ();
   if !micro then begin
     hr "MICRO-BENCHMARKS (Bechamel, reduced-scale kernels)";
     run_bechamel ()
@@ -742,6 +898,7 @@ let () =
       else if !part2_only then "part2"
       else if !scaling_only then "scaling"
       else if !churn_only then "churn"
+      else if !routing_only then "routing"
       else "full"
     in
     write_json ~path ~suite ~omit_timings:!omit_timings ~total_wall

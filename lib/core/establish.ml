@@ -100,8 +100,14 @@ let route_backup ?tie_break ?(strategy = Min_hops)
     not (Net.Component.Mask.mem_node disjoint_banned v)
   in
   match
-    Routing.Shortest.shortest_hops ~link_ok:feasibility_link_ok
-      ~node_ok:feasibility_node_ok topo ~src ~dst
+    (* With nothing banned the feasibility pre-search degenerates to the
+       unconstrained hop distance, which the static oracle answers in
+       O(1); otherwise the masked bidirectional search runs. *)
+    if Net.Component.Mask.is_empty disjoint_banned then
+      Routing.Shortest.shortest_hops topo ~src ~dst
+    else
+      Routing.Shortest.shortest_hops ~link_ok:feasibility_link_ok
+        ~node_ok:feasibility_node_ok topo ~src ~dst
   with
   | None -> None
   | Some shortest ->
@@ -439,6 +445,8 @@ type plan = {
   plan_outcome : (Net.Path.t * planned_backup list, reject) result;
   plan_reads : plan_reads;
 }
+
+let plan_probes p = Array.length p.plan_reads.rd_data / 2
 
 let plan ns ~conn_id request =
   if request.backups < 0 then invalid_arg "Establish.plan: negative backups";

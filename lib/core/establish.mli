@@ -108,6 +108,10 @@ type plan = {
   plan_reads : plan_reads;
 }
 
+val plan_probes : plan -> int
+(** Number of admission probes the plan recorded — the work the search
+    did and the footprint {!try_commit} must replay. *)
+
 val plan : Netstate.t -> conn_id:int -> request -> plan
 (** Dry-run [establish] without reserving anything or consuming any ids.
     Safe to call concurrently from several domains as long as nothing

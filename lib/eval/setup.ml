@@ -87,6 +87,11 @@ let establish_all ?(seed = 42) ?policy ?backup_routing ?(progress_every = 250) ?
         ~spare:(Bcp.Netstate.spare_fraction ns)
     | _ -> ()
   in
+  (* Build the static distance oracle up front: every domain's searches
+     share the one read-only matrix, and the one-time build cost lands
+     under its own [route.oracle_build] span instead of inside the first
+     request's search. *)
+  Routing.Oracle.warm (Bcp.Netstate.topology ns);
   (* Speculative sharding: planner domains dry-run chunks of requests
      against the frozen state; the serial merge replays each plan in
      request order, falling back to the ordinary serial [establish] when

@@ -63,6 +63,7 @@ module Mask = struct
     end
 
   let add_set t s = Set.iter (add t) s
+  let is_empty t = t.n_touched = 0
   let mem t c = Bytes.get t.bytes (encode c) = '\001'
   let mem_node t v = Bytes.unsafe_get t.bytes (2 * v) = '\001'
   let mem_link t l = Bytes.unsafe_get t.bytes ((2 * l) + 1) = '\001'

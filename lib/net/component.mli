@@ -31,6 +31,9 @@ module Mask : sig
   val create : num_nodes:int -> num_links:int -> mask
   val add : mask -> t -> unit
   val add_set : mask -> Set.t -> unit
+  val is_empty : mask -> bool
+  (** No component added since the last reset. *)
+
   val mem : mask -> t -> bool
   val mem_node : mask -> int -> bool
   val mem_link : mask -> int -> bool

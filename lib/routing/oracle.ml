@@ -1,0 +1,120 @@
+(* All-pairs static hop-distance oracle.
+
+   One reverse BFS per destination over the raw topology (no admission
+   predicates) fills a dense [n * n] int16 matrix: entry [dst * n + v] is
+   the unconstrained hop distance from [v] to [dst].  The static distance
+   lower-bounds every constrained distance, which is what makes it usable
+   both as an A*-style pruning bound in {!Shortest.search} and as an O(1)
+   replacement for feasibility pre-searches when no component is banned.
+
+   The matrix is a Bigarray so it lives outside the OCaml heap: at 64x64
+   (4096 nodes) it is 4096^2 * 2 bytes = 32 MiB that the GC never scans,
+   and domains share it read-only without copies.  Construction is lazy
+   and memoised per topology in a small registry keyed by physical
+   equality plus the link count at build time, so a topology mutated by
+   [add_link] after an oracle was built gets a fresh one. *)
+
+type matrix =
+  (int, Bigarray.int16_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = {
+  links_at_build : int;
+  stride : int;  (* row length = num_nodes at build *)
+  data : matrix;
+}
+
+(* int16 sentinel for "unreachable"; real distances are < num_nodes,
+   which the [max_nodes] guard keeps below the sentinel. *)
+let unreachable = 0xFFFF
+let max_nodes = 0xFFFF
+
+let unreachable_value = unreachable
+let stride t = t.stride
+let raw t = t.data
+
+let build topo =
+  Sim.Prof.span "route.oracle_build" @@ fun () ->
+  let n = Net.Topology.num_nodes topo in
+  if n >= max_nodes then
+    invalid_arg
+      (Printf.sprintf
+         "Routing.Oracle: %d nodes exceed the int16 distance encoding (max \
+          %d)"
+         n (max_nodes - 1));
+  let data =
+    Bigarray.Array1.create Bigarray.int16_unsigned Bigarray.c_layout (n * n)
+  in
+  Bigarray.Array1.fill data unreachable;
+  let queue = Array.make (max n 1) 0 in
+  for dst = 0 to n - 1 do
+    (* Reverse BFS from [dst]: distances *to* dst along link direction. *)
+    let base = dst * n in
+    Bigarray.Array1.unsafe_set data (base + dst) 0;
+    queue.(0) <- dst;
+    let head = ref 0 and tail = ref 1 in
+    while !head < !tail do
+      let u = queue.(!head) in
+      incr head;
+      let du1 = Bigarray.Array1.unsafe_get data (base + u) + 1 in
+      let inl = Net.Topology.in_array topo u in
+      for i = 0 to Array.length inl - 1 do
+        let l = Net.Topology.link_unsafe topo (Array.unsafe_get inl i) in
+        let v = l.Net.Topology.src in
+        if Bigarray.Array1.unsafe_get data (base + v) = unreachable then begin
+          Bigarray.Array1.unsafe_set data (base + v) du1;
+          queue.(!tail) <- v;
+          incr tail
+        end
+      done
+    done
+  done;
+  { links_at_build = Net.Topology.num_links topo; stride = n; data }
+
+(* Registry: a handful of (topology, oracle) pairs behind an atomic so
+   lookups are lock-free; builds take [lock] and re-check, so concurrent
+   domains asking for the same topology build it once.  Capped so that
+   long-lived processes churning through topologies (the QCheck fuzzers)
+   do not accumulate 32 MiB matrices. *)
+let capacity = 8
+let registry : (Net.Topology.t * t) list Atomic.t = Atomic.make []
+let lock = Mutex.create ()
+
+let lookup topo =
+  let links = Net.Topology.num_links topo in
+  List.find_map
+    (fun (k, o) -> if k == topo && o.links_at_build = links then Some o else None)
+    (Atomic.get registry)
+
+let cached topo = Option.is_some (lookup topo)
+
+let for_topo topo =
+  match lookup topo with
+  | Some o -> o
+  | None ->
+    Mutex.lock lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock lock)
+      (fun () ->
+        match lookup topo with
+        | Some o -> o
+        | None ->
+          let o = build topo in
+          let keep =
+            List.filter (fun (k, _) -> not (k == topo)) (Atomic.get registry)
+          in
+          let keep = List.filteri (fun i _ -> i < capacity - 1) keep in
+          Atomic.set registry ((topo, o) :: keep);
+          o)
+
+let for_topo_opt topo =
+  if Net.Topology.num_nodes topo >= max_nodes then None
+  else Some (for_topo topo)
+
+let warm topo = ignore (for_topo_opt topo)
+
+let distance t ~src ~dst =
+  let n = t.stride in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Routing.Oracle.distance: node out of range";
+  let d = Bigarray.Array1.unsafe_get t.data ((dst * n) + src) in
+  if d = unreachable then max_int else d

@@ -1,23 +1,45 @@
 let all_links_ok _ = true
 let all_nodes_ok _ = true
 
+(* Global kill switch for oracle-backed pruning and O(1) lookups, used by
+   the routing micro-benchmark and the equivalence fuzzers to run the
+   unaccelerated reference implementation on demand.  Pruning is a pure
+   optimisation — outputs are byte-identical either way — so flipping
+   this never changes results, only work done. *)
+let oracle_disabled = Atomic.make false
+let set_oracle_disabled b = Atomic.set oracle_disabled b
+let oracle_enabled () = not (Atomic.get oracle_disabled)
+
 (* Reusable per-domain BFS workspace.  Visitation is epoch-stamped
    ([stamp.(v) = epoch] means "seen this search"), so starting a search
    costs one integer bump instead of clearing three O(n) arrays; the
    arrays themselves grow monotonically to the largest topology searched
    in this domain.  Keyed by [Domain.DLS] because benchmark tiers run
-   whole simulations on separate domains. *)
+   whole simulations on separate domains.  The [b*] twins back the
+   reverse side of the bidirectional hop-count search. *)
 type ws = {
   mutable dist : int array;
   mutable parent : int array;
   mutable stamp : int array;
   mutable queue : int array;
+  mutable bdist : int array;
+  mutable bstamp : int array;
+  mutable bqueue : int array;
   mutable epoch : int;
 }
 
 let ws_key =
   Domain.DLS.new_key (fun () ->
-      { dist = [||]; parent = [||]; stamp = [||]; queue = [||]; epoch = 0 })
+      {
+        dist = [||];
+        parent = [||];
+        stamp = [||];
+        queue = [||];
+        bdist = [||];
+        bstamp = [||];
+        bqueue = [||];
+        epoch = 0;
+      })
 
 let get_ws n =
   let ws = Domain.DLS.get ws_key in
@@ -26,29 +48,41 @@ let get_ws n =
     ws.parent <- Array.make n (-1);
     ws.stamp <- Array.make n 0;
     ws.queue <- Array.make n 0;
+    ws.bdist <- Array.make n 0;
+    ws.bstamp <- Array.make n 0;
+    ws.bqueue <- Array.make n 0;
     ws.epoch <- 0
   end;
   ws.epoch <- ws.epoch + 1;
   ws
 
+(* Unconstrained BFS through the epoch-stamped workspace; only the
+   returned distance array is allocated. *)
 let bfs_distances topo ~start ~links_of ~endpoint_of =
   let n = Net.Topology.num_nodes topo in
-  let dist = Array.make n max_int in
+  let ws = get_ws n in
+  let epoch = ws.epoch in
+  let dist = ws.dist and stamp = ws.stamp and queue = ws.queue in
   dist.(start) <- 0;
-  let q = Queue.create () in
-  Queue.add start q;
-  while not (Queue.is_empty q) do
-    let u = Queue.pop q in
+  stamp.(start) <- epoch;
+  queue.(0) <- start;
+  let head = ref 0 and tail = ref 1 in
+  while !head < !tail do
+    let u = queue.(!head) in
+    incr head;
+    let du1 = Array.unsafe_get dist u + 1 in
     Array.iter
       (fun id ->
         let v = endpoint_of (Net.Topology.link_unsafe topo id) in
-        if dist.(v) = max_int then begin
-          dist.(v) <- dist.(u) + 1;
-          Queue.add v q
+        if Array.unsafe_get stamp v <> epoch then begin
+          Array.unsafe_set stamp v epoch;
+          Array.unsafe_set dist v du1;
+          queue.(!tail) <- v;
+          incr tail
         end)
       (links_of u)
   done;
-  dist
+  Array.init n (fun v -> if stamp.(v) = epoch then dist.(v) else max_int)
 
 let hop_distance topo ~src =
   bfs_distances topo ~start:src
@@ -63,7 +97,20 @@ let hop_distance_to topo ~dst =
 (* BFS with admission predicates.  All hops cost 1, so plain BFS finds a
    minimum-hop path; parent links reconstruct it.  The scan runs over the
    cached flat adjacency and the epoch-stamped workspace, so a search on
-   an already-visited topology allocates only the returned path. *)
+   an already-visited topology allocates only the returned path.
+
+   With a finite [max_hops] budget the static oracle turns this into a
+   goal-directed search: a node [v] first reached at distance [d] can
+   only complete a path of at least [d + oracle(v, dst)] hops, so when
+   that bound exceeds the budget [v] is never stamped and its out-links
+   are never examined (in particular never admission-probed).  The bound
+   is exact for the unconstrained metric and a lower bound for the
+   constrained one, so no feasible ≤-budget path is lost; and because a
+   pruned node could never appear on a surviving path, the stamping
+   order — hence parents, hence the returned path — is byte-identical to
+   the unpruned search.  Pruning is disabled under [tie_break]: the
+   shuffle draws one PRNG sample per expanded node, so skipping nodes
+   would shift the random stream. *)
 let search ?(link_ok = all_links_ok) ?(node_ok = all_nodes_ok) ?max_hops
     ?tie_break topo ~src ~dst =
   if src = dst then Some []
@@ -78,21 +125,42 @@ let search ?(link_ok = all_links_ok) ?(node_ok = all_nodes_ok) ?max_hops
     queue.(0) <- src;
     let head = ref 0 and tail = ref 1 in
     let budget = match max_hops with Some b -> b | None -> max_int in
+    let oracle =
+      match max_hops with
+      | Some _ when Option.is_none tie_break && oracle_enabled () -> (
+        match Oracle.for_topo_opt topo with
+        | Some o -> Some (Oracle.raw o, dst * Oracle.stride o)
+        | None -> None)
+      | _ -> None
+    in
+    let pruned = ref 0 in
     let found = ref false in
     let visit u id l =
       let v = l.Net.Topology.dst in
-      if
-        Array.unsafe_get stamp v <> epoch
-        && link_ok l
-        && (v = dst || node_ok v)
-      then begin
-        Array.unsafe_set stamp v epoch;
-        Array.unsafe_set dist v (Array.unsafe_get dist u + 1);
-        Array.unsafe_set parent v id;
-        if v = dst then found := true
-        else begin
-          queue.(!tail) <- v;
-          incr tail
+      if Array.unsafe_get stamp v <> epoch then begin
+        let keep =
+          match oracle with
+          | None -> true
+          | Some (row, base) ->
+            let bound =
+              Array.unsafe_get dist u + 1
+              + Bigarray.Array1.unsafe_get row (base + v)
+            in
+            if bound > budget then begin
+              incr pruned;
+              false
+            end
+            else true
+        in
+        if keep && link_ok l && (v = dst || node_ok v) then begin
+          Array.unsafe_set stamp v epoch;
+          Array.unsafe_set dist v (Array.unsafe_get dist u + 1);
+          Array.unsafe_set parent v id;
+          if v = dst then found := true
+          else begin
+            queue.(!tail) <- v;
+            incr tail
+          end
         end
       end
     in
@@ -112,6 +180,7 @@ let search ?(link_ok = all_links_ok) ?(node_ok = all_nodes_ok) ?max_hops
             List.iter (fun id -> visit u id (Net.Topology.link_unsafe topo id)) out
       end
     done;
+    if !pruned > 0 then Sim.Prof.count ~by:!pruned "route.pruned";
     if stamp.(dst) <> epoch || dist.(dst) > budget then None
     else begin
       let rec rebuild v acc =
@@ -129,7 +198,120 @@ let shortest_path ?link_ok ?node_ok ?max_hops ?tie_break topo ~src ~dst =
   | None -> None
   | Some links -> Some (Net.Path.make topo ~src ~dst ~links)
 
+(* Level-synchronised bidirectional BFS for a constrained hop count.
+   Forward levels grow from [src] over admissible out-links, backward
+   levels from [dst] over admissible in-links; whenever a node is
+   stamped on one side and already stamped on the other, [df + db] is a
+   candidate path length, and the true length is the minimum candidate.
+   After [flevel] forward and [blevel] backward completed levels, every
+   path of length ≤ flevel + blevel has been found (its node at position
+   flevel is stamped on both sides), so the search stops as soon as
+   [best <= flevel + blevel + 1] — expanding further could only find
+   strictly longer paths.  Always expanding the smaller frontier keeps
+   the explored ball much smaller than a one-sided search. *)
+let bidirectional_hops ~link_ok ~node_ok topo ~src ~dst =
+  if src = dst then Some 0
+  else begin
+    let n = Net.Topology.num_nodes topo in
+    let ws = get_ws n in
+    let epoch = ws.epoch in
+    let fdist = ws.dist and fstamp = ws.stamp and fqueue = ws.queue in
+    let bdist = ws.bdist and bstamp = ws.bstamp and bqueue = ws.bqueue in
+    fdist.(src) <- 0;
+    fstamp.(src) <- epoch;
+    fqueue.(0) <- src;
+    bdist.(dst) <- 0;
+    bstamp.(dst) <- epoch;
+    bqueue.(0) <- dst;
+    (* [lo, hi) indexes the current (complete) frontier level in each
+       queue; newly stamped nodes append after [hi]. *)
+    let flo = ref 0 and fhi = ref 1 and flevel = ref 0 in
+    let blo = ref 0 and bhi = ref 1 and blevel = ref 0 in
+    let best = ref max_int in
+    let expand_forward () =
+      let tail = ref !fhi in
+      for qi = !flo to !fhi - 1 do
+        let u = fqueue.(qi) in
+        let du1 = Array.unsafe_get fdist u + 1 in
+        let out = Net.Topology.out_array topo u in
+        for i = 0 to Array.length out - 1 do
+          let l = Net.Topology.link_unsafe topo (Array.unsafe_get out i) in
+          let v = l.Net.Topology.dst in
+          if
+            Array.unsafe_get fstamp v <> epoch
+            && link_ok l
+            && (v = dst || node_ok v)
+          then begin
+            Array.unsafe_set fstamp v epoch;
+            Array.unsafe_set fdist v du1;
+            fqueue.(!tail) <- v;
+            incr tail;
+            if Array.unsafe_get bstamp v = epoch then begin
+              let cand = du1 + Array.unsafe_get bdist v in
+              if cand < !best then best := cand
+            end
+          end
+        done
+      done;
+      flo := !fhi;
+      fhi := !tail;
+      incr flevel
+    in
+    let expand_backward () =
+      let tail = ref !bhi in
+      for qi = !blo to !bhi - 1 do
+        let u = bqueue.(qi) in
+        let du1 = Array.unsafe_get bdist u + 1 in
+        let inl = Net.Topology.in_array topo u in
+        for i = 0 to Array.length inl - 1 do
+          let l = Net.Topology.link_unsafe topo (Array.unsafe_get inl i) in
+          let v = l.Net.Topology.src in
+          if
+            Array.unsafe_get bstamp v <> epoch
+            && link_ok l
+            && (v = src || node_ok v)
+          then begin
+            Array.unsafe_set bstamp v epoch;
+            Array.unsafe_set bdist v du1;
+            bqueue.(!tail) <- v;
+            incr tail;
+            if Array.unsafe_get fstamp v = epoch then begin
+              let cand = du1 + Array.unsafe_get fdist v in
+              if cand < !best then best := cand
+            end
+          end
+        done
+      done;
+      blo := !bhi;
+      bhi := !tail;
+      incr blevel
+    in
+    while
+      !best > !flevel + !blevel + 1 && !fhi > !flo && !bhi > !blo
+    do
+      if !fhi - !flo <= !bhi - !blo then expand_forward ()
+      else expand_backward ()
+    done;
+    if !best = max_int then None else Some !best
+  end
+
 let shortest_hops ?link_ok ?node_ok topo ~src ~dst =
-  match search ?link_ok ?node_ok topo ~src ~dst with
-  | None -> None
-  | Some links -> Some (List.length links)
+  let reference () =
+    match search ?link_ok ?node_ok topo ~src ~dst with
+    | None -> None
+    | Some links -> Some (List.length links)
+  in
+  if not (oracle_enabled ()) then reference ()
+  else if Option.is_none link_ok && Option.is_none node_ok then
+    (* Unconstrained feasibility query: the oracle answers in O(1). *)
+    match Oracle.for_topo_opt topo with
+    | None -> reference ()
+    | Some o ->
+      Sim.Prof.count "route.oracle_hits";
+      let d = Oracle.distance o ~src ~dst in
+      if d = max_int then None else Some d
+  else
+    bidirectional_hops
+      ~link_ok:(Option.value ~default:all_links_ok link_ok)
+      ~node_ok:(Option.value ~default:all_nodes_ok node_ok)
+      topo ~src ~dst

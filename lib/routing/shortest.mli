@@ -35,4 +35,16 @@ val shortest_hops :
   src:int ->
   dst:int ->
   int option
-(** Hop count of the constrained shortest path, without materialising it. *)
+(** Hop count of the constrained shortest path, without materialising it.
+    Without predicates this is an O(1) {!Oracle} lookup; with predicates
+    it runs a bidirectional level-synchronised BFS.  Both return exactly
+    what the one-sided reference search would. *)
+
+val set_oracle_disabled : bool -> unit
+(** [set_oracle_disabled true] makes {!shortest_path}/{!shortest_hops}
+    run the unaccelerated reference implementation (no pruning, no O(1)
+    lookups, no bidirectional search).  Outputs are byte-identical either
+    way — this exists so benchmarks and equivalence fuzzers can compare
+    the accelerated kernel against the reference.  Global (affects all
+    domains); defaults to enabled. *)
+

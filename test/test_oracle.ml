@@ -1,0 +1,188 @@
+(* Tests for the static distance oracle and the goal-directed search
+   kernel built on it: the accelerated paths must be byte-identical to
+   the unaccelerated reference on arbitrary topologies, masks and
+   budgets, and the oracle itself must match fresh BFS distances. *)
+
+let torus44 () = Net.Builders.torus ~rows:4 ~cols:4 ~capacity:10.0
+
+(* Random mostly-connected multigraph: a duplex ring plus random chords,
+   so searches see cycles, parallel links and the occasional one-way
+   shortcut. *)
+let random_topo rng =
+  let n = 2 + Sim.Prng.int rng 30 in
+  let t = Net.Topology.create ~num_nodes:n in
+  for v = 0 to n - 1 do
+    ignore (Net.Topology.add_duplex t ~a:v ~b:((v + 1) mod n) ~capacity:10.0)
+  done;
+  for _ = 1 to Sim.Prng.int rng (2 * n) do
+    let a = Sim.Prng.int rng n and b = Sim.Prng.int rng n in
+    if a <> b then ignore (Net.Topology.add_link t ~src:a ~dst:b ~capacity:10.0)
+  done;
+  t
+
+(* Run [f] with the acceleration toggled off, restoring it on the way
+   out so a failing property cannot poison later tests. *)
+let with_reference f =
+  Routing.Shortest.set_oracle_disabled true;
+  Fun.protect ~finally:(fun () -> Routing.Shortest.set_oracle_disabled false) f
+
+(* ---------- units ---------- *)
+
+let test_matches_bfs () =
+  let t = torus44 () in
+  let o = Routing.Oracle.for_topo t in
+  for dst = 0 to Net.Topology.num_nodes t - 1 do
+    let d = Routing.Shortest.hop_distance_to t ~dst in
+    Array.iteri
+      (fun v expect ->
+        Alcotest.(check int)
+          (Printf.sprintf "dist %d->%d" v dst)
+          expect
+          (Routing.Oracle.distance o ~src:v ~dst))
+      d
+  done
+
+let test_unreachable () =
+  let t = Net.Topology.create ~num_nodes:3 in
+  (* one-way chain 0 -> 1 -> 2: nothing reaches 0 *)
+  ignore (Net.Topology.add_link t ~src:0 ~dst:1 ~capacity:1.0);
+  ignore (Net.Topology.add_link t ~src:1 ~dst:2 ~capacity:1.0);
+  let o = Routing.Oracle.for_topo t in
+  Alcotest.(check int) "forward" 2 (Routing.Oracle.distance o ~src:0 ~dst:2);
+  Alcotest.(check bool) "no reverse path" true
+    (Routing.Oracle.distance o ~src:2 ~dst:0 = max_int)
+
+let test_lazy_memoised () =
+  let t = torus44 () in
+  Alcotest.(check bool) "not built yet" false (Routing.Oracle.cached t);
+  let o1 = Routing.Oracle.for_topo t in
+  Alcotest.(check bool) "built now" true (Routing.Oracle.cached t);
+  let o2 = Routing.Oracle.for_topo t in
+  Alcotest.(check bool) "memoised (same matrix)" true (o1 == o2)
+
+let test_add_link_invalidates () =
+  let t = Net.Topology.create ~num_nodes:3 in
+  ignore (Net.Topology.add_link t ~src:0 ~dst:1 ~capacity:1.0);
+  ignore (Net.Topology.add_link t ~src:1 ~dst:2 ~capacity:1.0);
+  let o = Routing.Oracle.for_topo t in
+  Alcotest.(check int) "chain" 2 (Routing.Oracle.distance o ~src:0 ~dst:2);
+  ignore (Net.Topology.add_link t ~src:0 ~dst:2 ~capacity:1.0);
+  Alcotest.(check bool) "stale entry dropped" false (Routing.Oracle.cached t);
+  let o' = Routing.Oracle.for_topo t in
+  Alcotest.(check bool) "rebuilt" true (not (o == o'));
+  Alcotest.(check int) "shortcut seen" 1 (Routing.Oracle.distance o' ~src:0 ~dst:2)
+
+let test_int16_guard () =
+  let t = Net.Topology.create ~num_nodes:70_000 in
+  Alcotest.(check bool) "opt is None" true (Routing.Oracle.for_topo_opt t = None);
+  (match Routing.Oracle.for_topo t with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "for_topo must refuse 70k nodes");
+  (* The search layer degrades gracefully: no oracle, plain BFS. *)
+  ignore (Net.Topology.add_link t ~src:0 ~dst:1 ~capacity:1.0);
+  Alcotest.(check (option int))
+    "shortest_hops still works" (Some 1)
+    (Routing.Shortest.shortest_hops t ~src:0 ~dst:1)
+
+let test_cross_domain_sharing () =
+  let t = torus44 () in
+  let o = Routing.Oracle.for_topo t in
+  let expect = Routing.Oracle.distance o ~src:0 ~dst:15 in
+  let worker () =
+    Routing.Oracle.for_topo t == o
+    && Routing.Oracle.distance o ~src:0 ~dst:15 = expect
+  in
+  let d1 = Domain.spawn worker and d2 = Domain.spawn worker in
+  Alcotest.(check bool) "domain 1 shares" true (Domain.join d1);
+  Alcotest.(check bool) "domain 2 shares" true (Domain.join d2)
+
+(* hop_distance results must stay private to the caller (the workspace
+   refactor could have leaked the reusable scratch array). *)
+let test_bfs_distances_fresh_array () =
+  let t = torus44 () in
+  let d1 = Routing.Shortest.hop_distance t ~src:0 in
+  let snapshot = Array.copy d1 in
+  let d2 = Routing.Shortest.hop_distance t ~src:5 in
+  Alcotest.(check bool) "first result unchanged" true (d1 = snapshot);
+  d2.(0) <- 12345;
+  let d3 = Routing.Shortest.hop_distance t ~src:5 in
+  Alcotest.(check bool) "caller mutation invisible" true (d3.(0) <> 12345 || d3 != d2)
+
+(* ---------- equivalence fuzz ---------- *)
+
+(* One random scenario: topology, banned nodes/links, endpoints, budget. *)
+let scenario seed =
+  let rng = Sim.Prng.create seed in
+  let topo = random_topo rng in
+  let n = Net.Topology.num_nodes topo in
+  let m = Net.Topology.num_links topo in
+  let node_banned = Array.init n (fun _ -> Sim.Prng.int rng 8 = 0) in
+  let link_banned = Array.init m (fun _ -> Sim.Prng.int rng 8 = 0) in
+  let node_ok v = not node_banned.(v) in
+  let link_ok (l : Net.Topology.link) = not link_banned.(l.Net.Topology.id) in
+  let src = Sim.Prng.int rng n in
+  let dst = (src + 1 + Sim.Prng.int rng (n - 1)) mod n in
+  let budget = 1 + Sim.Prng.int rng (n + 2) in
+  (topo, link_ok, node_ok, src, dst, budget)
+
+let prop_pruned_search_byte_identical =
+  QCheck.Test.make ~name:"pruned budgeted search = reference, link for link"
+    ~count:300 QCheck.small_nat (fun seed ->
+      let topo, link_ok, node_ok, src, dst, budget = scenario seed in
+      let run () =
+        Routing.Shortest.shortest_path ~link_ok ~node_ok ~max_hops:budget topo
+          ~src ~dst
+      in
+      let reference = with_reference run in
+      let accelerated = run () in
+      Option.map Net.Path.links accelerated
+      = Option.map Net.Path.links reference)
+
+let prop_shortest_hops_equal =
+  QCheck.Test.make ~name:"bidirectional shortest_hops = reference search"
+    ~count:300 QCheck.small_nat (fun seed ->
+      let topo, link_ok, node_ok, src, dst, _ = scenario seed in
+      let run () =
+        ( Routing.Shortest.shortest_hops ~link_ok ~node_ok topo ~src ~dst,
+          Routing.Shortest.shortest_hops topo ~src ~dst )
+      in
+      with_reference run = run ())
+
+let prop_oracle_equals_fresh_bfs =
+  QCheck.Test.make ~name:"oracle distances = fresh BFS" ~count:100
+    QCheck.small_nat (fun seed ->
+      let rng = Sim.Prng.create seed in
+      let topo = random_topo rng in
+      let o = Routing.Oracle.for_topo topo in
+      let n = Net.Topology.num_nodes topo in
+      let dst = Sim.Prng.int rng n in
+      let d = Routing.Shortest.hop_distance_to topo ~dst in
+      Array.for_all
+        (fun v -> Routing.Oracle.distance o ~src:v ~dst = d.(v))
+        (Array.init n Fun.id))
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "oracle"
+    [
+      ( "units",
+        [
+          Alcotest.test_case "matches BFS on torus" `Quick test_matches_bfs;
+          Alcotest.test_case "unreachable sentinel" `Quick test_unreachable;
+          Alcotest.test_case "lazy + memoised" `Quick test_lazy_memoised;
+          Alcotest.test_case "add_link invalidates" `Quick
+            test_add_link_invalidates;
+          Alcotest.test_case "int16 overflow guard" `Quick test_int16_guard;
+          Alcotest.test_case "cross-domain sharing" `Quick
+            test_cross_domain_sharing;
+          Alcotest.test_case "hop_distance arrays are fresh" `Quick
+            test_bfs_distances_fresh_array;
+        ] );
+      qsuite "equivalence"
+        [
+          prop_pruned_search_byte_identical;
+          prop_shortest_hops_equal;
+          prop_oracle_equals_fresh_bfs;
+        ];
+    ]
